@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md section 3).  Each benchmark prints the reproduced rows/series
+(run with ``-s`` to see them) and asserts the qualitative shape the paper
+reports; the pytest-benchmark fixture wraps the core computation so the
+harness also records its runtime.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/series so ``pytest -s`` shows it."""
+    sys.stdout.write("\n" + text + "\n")

@@ -1,0 +1,42 @@
+"""Fig. 1 / Eq. (1): frame-based DRAM bandwidth for computational imaging CNNs.
+
+Reproduces the motivation numbers of Section 2: VDSR needs ~303 GB/s of
+feature-map bandwidth at Full HD 30 fps with 16-bit features, four times that
+at 4K UHD, far beyond low-end DRAM.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.baselines.frame_based import frame_based_feature_bandwidth, frame_based_report
+from repro.models.baselines import build_vdsr
+from repro.specs import SPECIFICATIONS
+
+
+def _rows():
+    rows = []
+    for spec_name in ("HD30", "HD60", "UHD30"):
+        spec = SPECIFICATIONS[spec_name]
+        bandwidth = frame_based_feature_bandwidth(20, 64, spec)
+        rows.append((f"VDSR @ {spec_name}", 20, 64, round(bandwidth, 1)))
+    return rows
+
+
+def test_fig01_frame_based_bandwidth(benchmark):
+    rows = benchmark(_rows)
+    emit(
+        format_table(
+            "Fig. 1 / Eq. (1) — frame-based feature-map DRAM bandwidth",
+            ["workload", "depth", "channels", "GB/s"],
+            rows,
+        )
+    )
+    bandwidths = {name: gb for name, _, _, gb in rows}
+    # Paper: ~303 GB/s at Full HD 30 fps, 4x larger at UHD.
+    assert bandwidths["VDSR @ HD30"] == pytest.approx(303, rel=0.02)
+    assert bandwidths["VDSR @ UHD30"] == pytest.approx(4 * bandwidths["VDSR @ HD30"], rel=0.01)
+
+    report = frame_based_report(build_vdsr(), SPECIFICATIONS["HD30"])
+    # Feature traffic dwarfs image traffic by roughly the paper's 811x factor.
+    assert report.bandwidth_overhead_versus_images() > 500

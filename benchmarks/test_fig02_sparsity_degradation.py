@@ -1,0 +1,58 @@
+"""Fig. 2: quality degradation of imaging networks under sparsity techniques.
+
+(a) Pruning a DnERNet: the PSNR gain over CBM3D shrinks by 0.2-0.4 dB at 75%
+pruning and can go negative.  (b) Depth-wise convolution in EDSR-baseline
+residual blocks: 52-75% complexity savings cost 0.3-1.2 dB across datasets.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.models.sparsity import (
+    depthwise_quality_drop,
+    depthwise_savings,
+    pruned_psnr_gain,
+    pruning_quality_drop,
+)
+
+
+def _series():
+    pruning = [
+        (fraction, round(pruning_quality_drop(fraction, "CBSD68"), 3))
+        for fraction in (0.0, 0.25, 0.5, 0.75, 0.9)
+    ]
+    saving = depthwise_savings(64)
+    depthwise = [
+        (dataset, scale, round(depthwise_quality_drop(saving, dataset, scale), 3))
+        for dataset in ("Set5", "Set14", "BSD100", "Urban100")
+        for scale in (2, 4)
+    ]
+    return pruning, saving, depthwise
+
+
+def test_fig02_sparsity_degradation(benchmark):
+    pruning, saving, depthwise = benchmark(_series)
+    emit(
+        format_table(
+            "Fig. 2(a) — PSNR drop vs pruning fraction (DnERNet, CBSD68)",
+            ["pruned fraction", "PSNR drop (dB)"],
+            pruning,
+        )
+    )
+    emit(
+        format_table(
+            f"Fig. 2(b) — depth-wise conversion drop (saving={saving:.0%})",
+            ["dataset", "SR scale", "PSNR drop (dB)"],
+            depthwise,
+        )
+    )
+    drops = dict(((d, s), v) for d, s, v in depthwise)
+    # 75% pruning costs 0.2-0.4 dB; aggressive pruning can erase the gain.
+    assert 0.2 <= dict(pruning)[0.75] <= 0.45
+    assert pruned_psnr_gain(0.3, 0.9) < 0.1
+    # Depth-wise savings are in the 52-75%+ range and cost 0.3-1.2 dB.
+    assert saving > 0.52
+    assert min(drops.values()) >= 0.25
+    assert max(drops.values()) <= 1.35
+    assert drops[("Urban100", 4)] > drops[("Set14", 2)]

@@ -1,0 +1,37 @@
+"""Fig. 5(a): NBR and NCR versus the depth-input ratio of the plain network."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.core.overheads import normalized_bandwidth_ratio, normalized_computation_ratio
+
+
+def _series():
+    betas = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45]
+    return [
+        (beta, round(normalized_bandwidth_ratio(beta), 2), round(normalized_computation_ratio(beta), 2))
+        for beta in betas
+    ]
+
+
+def test_fig05a_nbr_ncr_versus_beta(benchmark):
+    series = benchmark(_series)
+    emit(
+        format_table(
+            "Fig. 5(a) — NBR and NCR vs depth-input ratio (plain network)",
+            ["beta = D/xi", "NBR", "NCR"],
+            series,
+        )
+    )
+    by_beta = {beta: (nbr, ncr) for beta, nbr, ncr in series}
+    # Both ratios grow monotonically and blow up toward beta = 0.5.
+    nbrs = [nbr for _, nbr, _ in series]
+    ncrs = [ncr for _, _, ncr in series]
+    assert all(b > a for a, b in zip(nbrs, nbrs[1:]))
+    assert all(b > a for a, b in zip(ncrs, ncrs[1:]))
+    # Paper anchors: NBR ~26x at beta=0.4, and ~90% of compute is
+    # recomputation there (NCR around 7-8x).
+    assert by_beta[0.4][0] == pytest.approx(26.0, rel=0.01)
+    assert by_beta[0.4][1] > 5.0
+    assert by_beta[0.05][1] < 1.3

@@ -1,0 +1,48 @@
+"""Fig. 5(b): NCR versus block-buffer size for VDSR and SRResNet.
+
+The paper's point: 20-layer VDSR keeps NCR ~2x with 1 MB block buffers, but
+the 37-layer SRResNet needs ~2 MB for a similar NCR, and shrinking the buffer
+makes its NCR skyrocket.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.core.overheads import block_size_for_buffer, general_ncr
+from repro.models.baselines import build_srresnet, build_vdsr
+
+
+def _series():
+    vdsr = build_vdsr()
+    srresnet = build_srresnet(upscale=1)
+    rows = []
+    for buffer_kb in (256, 512, 1024, 2048, 4096):
+        block = block_size_for_buffer(buffer_kb * 1024, 64, 16)
+        row = [buffer_kb]
+        for network in (vdsr, srresnet):
+            try:
+                row.append(round(general_ncr(network.layers, block), 2))
+            except ValueError:
+                row.append(float("inf"))
+        rows.append(tuple(row))
+    return rows
+
+
+def test_fig05b_ncr_versus_buffer_size(benchmark):
+    rows = benchmark(_series)
+    emit(
+        format_table(
+            "Fig. 5(b) — NCR vs block buffer size (64ch, 16-bit features)",
+            ["buffer (KB)", "VDSR NCR", "SRResNet NCR"],
+            rows,
+        )
+    )
+    by_buffer = {kb: (v, s) for kb, v, s in rows}
+    # VDSR is ~2x at 1 MB; SRResNet needs ~2 MB for a similar figure.
+    assert by_buffer[1024][0] == pytest.approx(2.0, rel=0.3)
+    assert by_buffer[2048][1] == pytest.approx(2.0, rel=0.4)
+    # The deeper model is always worse, and small buffers make it skyrocket.
+    for kb, (vdsr_ncr, sr_ncr) in by_buffer.items():
+        assert sr_ncr >= vdsr_ncr
+    assert by_buffer[256][1] > 2 * by_buffer[1024][1]

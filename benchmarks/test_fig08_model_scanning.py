@@ -1,0 +1,65 @@
+"""Fig. 8: model scanning of SR4ERNet under the three computation constraints.
+
+Top half of the figure: the largest feasible expansion ratio RE shrinks as the
+module count B grows (the NCR eats the budget).  Bottom half: predicted PSNR
+peaks at an intermediate depth for each constraint; the paper's HD30 pick is
+SR4ERNet-B34R4N0.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.models.scanning import scan_models
+from repro.specs import COMPUTATION_CONSTRAINTS
+
+
+def _scan():
+    module_counts = (6, 13, 20, 27, 34, 40)
+    return {
+        name: scan_models("sr4", budget, module_counts=module_counts)
+        for name, budget in COMPUTATION_CONSTRAINTS.items()
+    }
+
+
+def test_fig08_model_scanning(benchmark):
+    # The scan builds dozens of candidate models; one round is plenty for the
+    # harness timing and keeps the bench fast.
+    results = benchmark.pedantic(_scan, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        for candidate in result.candidates:
+            rows.append(
+                (
+                    name,
+                    candidate.spec.num_modules,
+                    round(candidate.expansion_ratio, 2),
+                    round(candidate.intrinsic_kop_per_pixel, 0),
+                    round(candidate.ncr, 2),
+                    round(candidate.predicted_psnr, 2),
+                )
+            )
+    emit(
+        format_table(
+            "Fig. 8 — SR4ERNet scanning (xi = 128)",
+            ["constraint", "B", "RE", "intrinsic KOP/px", "NCR", "PSNR (dB)"],
+            rows,
+        )
+    )
+
+    hd30 = results["HD30"]
+    uhd30 = results["UHD30"]
+    # RE decreases (or stays capped) as depth grows under a fixed budget.
+    for result in results.values():
+        ratios = [c.expansion_ratio for c in result.candidates]
+        assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # The paper's HD30 winner is deep (B=34); under HD30 the NCR spans ~2.8-5.9x.
+    assert hd30.best.spec.num_modules >= 27
+    deep = hd30.candidate_by_modules(34)
+    assert deep is not None and 2.0 <= deep.ncr <= 4.0
+    # A looser budget (HD30) always yields better predicted quality than UHD30.
+    assert hd30.best.predicted_psnr > uhd30.best.predicted_psnr
+    # Quality improves from shallow to the winner (interior/deep optimum).
+    shallow = hd30.candidate_by_modules(6)
+    assert shallow is not None
+    assert hd30.best.predicted_psnr - shallow.predicted_psnr > 0.2

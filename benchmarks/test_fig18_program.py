@@ -1,0 +1,36 @@
+"""Fig. 18: the six-line FBISA program of DnERNet-B3R1N0 (UHD30)."""
+
+import pytest
+
+from conftest import emit
+from repro.fbisa.compiler import compile_network
+from repro.fbisa.isa import BlockBufferId, Opcode
+from repro.models.ernet import build_dnernet, build_sr4ernet
+
+
+def _compile_programs():
+    dn = compile_network(build_dnernet(3, 1, 0), input_block=128)
+    sr4 = compile_network(build_sr4ernet(34, 4, 0), input_block=128)
+    return dn, sr4
+
+
+def test_fig18_dnernet_program(benchmark):
+    dn, sr4 = benchmark(_compile_programs)
+    emit(dn.program.listing())
+    emit(f"(SR4ERNet-B34R4N0 program: {sr4.program.num_lines} lines)")
+
+    program = dn.program
+    # Six lines for the six-layer DnERNet, as in Fig. 18.
+    assert program.num_lines == 6
+    histogram = program.opcode_histogram()
+    assert histogram[Opcode.ER] == 3
+    assert histogram[Opcode.CONV] == 3
+    # Data streams in through DI and out through DO; block sizes are carried
+    # as 4x2-tile attributes.
+    assert program.instructions[0].src.buffer is BlockBufferId.DI
+    assert program.instructions[-1].dst.buffer is BlockBufferId.DO
+    assert all(i.block_tiles_x >= 1 and i.block_tiles_y >= 1 for i in program)
+    # Coarse-grained programs stay small; the paper quotes 45 lines for the
+    # highest-quality SR4ERNet.
+    assert sr4.program.num_lines <= 48
+    program.validate()

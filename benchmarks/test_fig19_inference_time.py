@@ -1,0 +1,53 @@
+"""Fig. 19: inference time (left) and NCR (right) for the picked ERNet models."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.hw.performance import evaluate_performance
+from repro.models.ernet import PAPER_MODELS, build_ernet
+from repro.specs import SPECIFICATIONS
+
+
+def _profile():
+    rows = []
+    reports = {}
+    for task in ("sr4", "sr2", "dn"):
+        for spec_name in ("UHD30", "HD60", "HD30"):
+            spec = SPECIFICATIONS[spec_name]
+            network = build_ernet(PAPER_MODELS[task][spec_name])
+            report = evaluate_performance(network, spec)
+            reports[(task, spec_name)] = report
+            rows.append(
+                (
+                    network.name,
+                    spec_name,
+                    round(report.inference_time_ms, 2),
+                    round(1000.0 / spec.fps, 2),
+                    round(report.ncr, 2),
+                    round(report.fps, 1),
+                )
+            )
+    return rows, reports
+
+
+def test_fig19_inference_time_and_ncr(benchmark):
+    rows, reports = benchmark(_profile)
+    emit(
+        format_table(
+            "Fig. 19 — inference time and NCR of the picked ERNets",
+            ["model", "spec", "time (ms/frame)", "budget (ms)", "NCR", "fps"],
+            rows,
+        )
+    )
+    for (task, spec_name), report in reports.items():
+        spec = SPECIFICATIONS[spec_name]
+        budget_ms = 1000.0 / spec.fps
+        # Every picked model runs its specification in (or very near) real time.
+        assert report.inference_time_ms <= budget_ms * 1.25, (task, spec_name)
+        # The NCR stays in the modest range the paper profiles (~1-6x).
+        assert 1.0 <= report.ncr <= 6.0
+    # Within a task, the higher-throughput specification uses a shallower
+    # model, hence a lower NCR.
+    for task in ("sr4", "sr2", "dn"):
+        assert reports[(task, "UHD30")].ncr <= reports[(task, "HD30")].ncr

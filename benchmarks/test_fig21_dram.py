@@ -1,0 +1,63 @@
+"""Fig. 21: DRAM bandwidth and dynamic power for the picked ERNet models."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.hw.dram import DRAM_CONFIGS, dram_traffic, dynamic_power_mw, select_dram
+from repro.models.ernet import PAPER_MODELS, build_ernet
+from repro.specs import SPECIFICATIONS
+
+
+def _traffic():
+    rows = []
+    traffics = {}
+    ddr4 = DRAM_CONFIGS["DDR4-3200"]
+    for task in ("sr4", "sr2", "dn"):
+        for spec_name in ("UHD30", "HD60", "HD30"):
+            spec = SPECIFICATIONS[spec_name]
+            network = build_ernet(PAPER_MODELS[task][spec_name])
+            traffic = dram_traffic(network, spec)
+            traffics[(task, spec_name)] = traffic
+            rows.append(
+                (
+                    network.name,
+                    spec_name,
+                    round(traffic.nbr, 2),
+                    round(traffic.total_gb_s, 2),
+                    select_dram(traffic.total_gb_s).name,
+                    round(dynamic_power_mw(traffic.total_gb_s, ddr4), 1),
+                )
+            )
+    return rows, traffics
+
+
+def test_fig21_dram_bandwidth_and_power(benchmark):
+    rows, traffics = benchmark(_traffic)
+    emit(
+        format_table(
+            "Fig. 21 — DRAM bandwidth, NBR and dynamic power (DDR4-3200)",
+            ["model", "spec", "NBR", "GB/s", "sufficient DRAM", "dyn. power (mW)"],
+            rows,
+        )
+    )
+    ddr4 = DRAM_CONFIGS["DDR4-3200"]
+    # Denoising needs the most bandwidth: ~1.66 GB/s at UHD30, ~0.5 at HD30,
+    # with NBRs around 2.2-2.7x.
+    dn_uhd = traffics[("dn", "UHD30")]
+    dn_hd30 = traffics[("dn", "HD30")]
+    assert dn_uhd.total_gb_s == pytest.approx(1.66, rel=0.05)
+    assert dn_hd30.total_gb_s == pytest.approx(0.5, rel=0.15)
+    assert 2.0 <= dn_uhd.nbr <= 2.5
+    assert 2.3 <= dn_hd30.nbr <= 3.1
+    # DnERNet is the most bandwidth-hungry task at every specification.
+    for spec_name in ("UHD30", "HD60", "HD30"):
+        for task in ("sr4", "sr2"):
+            assert traffics[("dn", spec_name)].total_gb_s >= traffics[(task, spec_name)].total_gb_s
+    # Low-end DDR is always sufficient: DDR-400 covers UHD30, DDR-200 covers HD30.
+    assert select_dram(dn_uhd.total_gb_s).bandwidth_gb_s <= 3.2
+    assert select_dram(dn_hd30.total_gb_s).bandwidth_gb_s <= 1.6
+    # Dynamic DRAM power stays below 120 mW for every workload.
+    for traffic in traffics.values():
+        assert dynamic_power_mw(traffic.total_gb_s, ddr4) < 120.0
+    assert ddr4.leakage_mw == pytest.approx(267.0)

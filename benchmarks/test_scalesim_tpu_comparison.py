@@ -1,0 +1,78 @@
+"""Section 7.2: SCALE-Sim (TPU-configuration) cross-check.
+
+The paper simulates SR4ERNet-B17R3N1 and SR4ERNet-B34R4N0 on a TPU-class
+systolic accelerator: neither hits its real-time target, DRAM bandwidth is an
+order of magnitude above eCNN's, and eCNN wins on both fps/TOPS and
+TOPS/(GB/s).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.baselines.scale_sim import TPU_CONFIG, simulate_systolic
+from repro.hw.dram import dram_traffic
+from repro.hw.performance import evaluate_performance
+from repro.models.ernet import build_sr4ernet
+from repro.specs import SPECIFICATIONS
+
+
+def _compare():
+    cases = [
+        (build_sr4ernet(17, 3, 1), SPECIFICATIONS["UHD30"]),
+        (build_sr4ernet(34, 4, 0), SPECIFICATIONS["HD30"]),
+    ]
+    rows = []
+    results = []
+    for network, spec in cases:
+        tpu = simulate_systolic(network, spec, TPU_CONFIG)
+        ecnn = evaluate_performance(network, spec)
+        traffic = dram_traffic(network, spec)
+        ecnn_intensity = ecnn.peak_tops / traffic.total_gb_s
+        rows.append(
+            (
+                network.name,
+                spec.name,
+                round(tpu.fps, 1),
+                round(ecnn.fps, 1),
+                round(tpu.dram_bandwidth_gb_s, 1),
+                round(traffic.total_gb_s, 2),
+                round(ecnn.throughput_efficiency / tpu.throughput_efficiency, 1),
+                round(ecnn_intensity / tpu.arithmetic_intensity, 1),
+            )
+        )
+        results.append((network, spec, tpu, ecnn, traffic, ecnn_intensity))
+    return rows, results
+
+
+def test_scalesim_tpu_comparison(benchmark):
+    rows, results = benchmark(_compare)
+    emit(
+        format_table(
+            "Section 7.2 — ERNets on a TPU-like systolic array vs eCNN",
+            [
+                "model",
+                "spec",
+                "TPU fps",
+                "eCNN fps",
+                "TPU GB/s",
+                "eCNN GB/s",
+                "fps/TOPS ratio",
+                "TOPS/(GB/s) ratio",
+            ],
+            rows,
+        )
+    )
+    for network, spec, tpu, ecnn, traffic, intensity in results:
+        # The TPU-class accelerator misses the real-time target at UHD30 and
+        # needs roughly an order of magnitude more DRAM bandwidth.
+        if spec.name == "UHD30":
+            assert tpu.fps < 30.0
+        assert tpu.dram_bandwidth_gb_s / traffic.total_gb_s > 5.0
+        # eCNN's joint design wins on throughput efficiency (paper: 1.2-3.1x)
+        # and arithmetic intensity (paper: 6.4-14.4x).
+        assert ecnn.throughput_efficiency / tpu.throughput_efficiency > 1.2
+        assert intensity / tpu.arithmetic_intensity > 4.0
+    # The TPU configuration itself matches the published 92 TOPS / 28 MB part.
+    assert TPU_CONFIG.peak_tops == pytest.approx(91.8, rel=0.02)
+    assert TPU_CONFIG.sram_bytes == 28 * 1024 * 1024

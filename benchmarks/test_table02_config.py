@@ -1,0 +1,37 @@
+"""Table 2: eCNN configuration."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.hw.config import DEFAULT_CONFIG
+from repro.specs import COMPUTATION_CONSTRAINTS, SPECIFICATIONS
+
+
+def _rows():
+    config = DEFAULT_CONFIG
+    return [
+        ("technology", config.technology),
+        ("clock", f"{config.clock_hz / 1e6:.0f} MHz"),
+        ("multipliers (LCONV3x3)", config.lconv3x3_multipliers),
+        ("multipliers (LCONV1x1)", config.lconv1x1_multipliers),
+        ("multipliers (total)", config.total_multipliers),
+        ("peak performance", f"{config.peak_tops:.2f} TOPS"),
+        ("block buffers", f"{config.num_block_buffers} x {config.block_buffer_kb} KB"),
+        ("parameter memory", f"{config.parameter_memory_kb} KB"),
+        ("input block", f"{config.default_input_block} x {config.default_input_block}"),
+    ]
+
+
+def test_table02_configuration(benchmark):
+    rows = benchmark(_rows)
+    emit(format_table("Table 2 — eCNN configuration", ["item", "value"], rows))
+    config = DEFAULT_CONFIG
+    assert config.total_multipliers == 81_920
+    assert config.peak_tops == pytest.approx(41.0, rel=0.01)
+    assert config.total_block_buffer_bytes == 1536 * 1024
+    assert config.parameter_memory_kb == 1288
+    # The three real-time constraints follow from the compute budget.
+    for name, budget in COMPUTATION_CONSTRAINTS.items():
+        derived = SPECIFICATIONS[name].kop_per_pixel_budget(config.peak_tops)
+        assert derived == pytest.approx(budget, rel=0.02)

@@ -1,0 +1,39 @@
+"""Table 3: ERNet training settings (scanning / polish / fine-tune stages)."""
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.models.training import TRAINING_SETTINGS
+
+
+def _rows():
+    return [
+        (
+            stage.name,
+            stage.patch_size,
+            stage.batch_size,
+            stage.mini_batches,
+            stage.learning_rate,
+            ", ".join(stage.datasets),
+        )
+        for stage in TRAINING_SETTINGS.values()
+    ]
+
+
+def test_table03_training_settings(benchmark):
+    rows = benchmark(_rows)
+    emit(
+        format_table(
+            "Table 3 — ERNet training settings",
+            ["stage", "patch", "batch", "mini-batches", "lr", "datasets"],
+            rows,
+        )
+    )
+    stages = {row[0]: row for row in rows}
+    # The scanning stage is lightweight relative to polishing (Section 7.1).
+    assert stages["scanning"][3] < stages["polish"][3]
+    assert stages["scanning"][1] <= stages["polish"][1]
+    # Fine-tuning uses a reduced learning rate.
+    assert stages["fine-tune"][4] < stages["polish"][4]
+    # Both the SR and denoising training corpora appear.
+    assert "DIV2K" in stages["polish"][5]
+    assert "Waterloo" in stages["polish"][5]

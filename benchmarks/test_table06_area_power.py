@@ -1,0 +1,48 @@
+"""Table 6: area and power consumption of the eCNN processor."""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.fbisa.compiler import compile_network
+from repro.hw.area_power import area_report, power_report
+from repro.hw.config import DEFAULT_CONFIG
+from repro.models.ernet import build_sr4ernet
+
+
+def _reports():
+    area = area_report()
+    compiled = compile_network(build_sr4ernet(34, 4, 0), input_block=128)
+    power = power_report("SR4ERNet-B34R4N0@HD30", compiled.program, utilization=0.95)
+    return area, power
+
+
+def test_table06_area_and_power(benchmark):
+    area, power = benchmark(_reports)
+    rows = [
+        ("LCONV3x3 engine", round(area.lconv3x3, 2), round(power.lconv3x3, 2)),
+        ("LCONV1x1 engine", round(area.lconv1x1, 2), round(power.lconv1x1, 2)),
+        ("block buffers (1536KB)", round(area.block_buffers, 2), "-"),
+        ("parameter memory (1288KB)", round(area.parameter_memory, 2), "-"),
+        ("IDU + datapath", round(area.idu_datapath, 2), round(power.idu_datapath, 2)),
+        ("SRAM (all)", "-", round(power.sram, 2)),
+        ("sequential / clock", "-", round(power.sequential, 2)),
+        ("total", round(area.total, 2), round(power.total, 2)),
+    ]
+    emit(format_table("Table 6 — eCNN area (mm^2) and power (W)", ["component", "area", "power"], rows))
+
+    # Total area matches the layout result.
+    assert area.total == pytest.approx(55.23, rel=0.01)
+    # LCONV3x3 dominates: ~65.8% of area and ~85-90% of power.
+    assert area.share("lconv3x3") == pytest.approx(0.658, abs=0.01)
+    assert power.lconv3x3 / power.total == pytest.approx(0.874, abs=0.08)
+    # LCONV1x1 takes ~7% of area; the memories ~19% combined.
+    assert area.share("lconv1x1") == pytest.approx(0.07, abs=0.01)
+    assert area.share("block_buffers") + area.share("parameter_memory") == pytest.approx(
+        0.192, abs=0.02
+    )
+    # SRAM power is a few percent of the total.
+    assert power.sram / power.total < 0.08
+    # A near-fully-utilized workload lands around the paper's ~7 W.
+    assert power.total == pytest.approx(7.2, rel=0.1)
+    assert DEFAULT_CONFIG.peak_tops == pytest.approx(41.0, rel=0.01)

@@ -1,0 +1,70 @@
+"""Appendix A / Table A.1: DnERNet-12ch denoising variants.
+
+Packing 2x2 RGB pixels into 12-channel inputs (FFDNet's strategy) lets the
+denoising models run at quarter resolution: the UHD30 model gains ~0.54 dB
+over the plain DnERNet and reaches FFDNet-level quality, the HD30 model even
+exceeds FFDNet, and DRAM bandwidth stays below ~1.8 GB/s.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.hw.dram import dram_traffic
+from repro.hw.performance import evaluate_performance
+from repro.models.complexity import model_complexity
+from repro.models.ernet import PAPER_MODELS, build_ernet
+from repro.models.quality import REFERENCE_PSNR
+from repro.specs import COMPUTATION_CONSTRAINTS, SPECIFICATIONS
+
+
+def _evaluate():
+    rows = []
+    data = {}
+    for spec_name in ("UHD30", "HD60", "HD30"):
+        spec = SPECIFICATIONS[spec_name]
+        network = build_ernet(PAPER_MODELS["dn12"][spec_name])
+        complexity = model_complexity(network, 256)
+        perf = evaluate_performance(network, spec)
+        traffic = dram_traffic(network, spec)
+        psnr = REFERENCE_PSNR[f"DnERNet-12ch@{spec_name}"]
+        plain_psnr = REFERENCE_PSNR[f"DnERNet@{spec_name}"]
+        rows.append(
+            (
+                network.name,
+                spec_name,
+                round(complexity.effective_kop_per_pixel, 0),
+                round(psnr, 2),
+                round(psnr - plain_psnr, 2),
+                round(traffic.total_gb_s, 2),
+                round(perf.fps, 1),
+            )
+        )
+        data[spec_name] = (network, complexity, perf, traffic, psnr, plain_psnr)
+    return rows, data
+
+
+def test_tableA1_dnernet_12ch(benchmark):
+    rows, data = benchmark(_evaluate)
+    emit(
+        format_table(
+            "Table A.1 — DnERNet-12ch variants",
+            ["model", "spec", "eff. KOP/px", "PSNR (dB)", "gain vs DnERNet", "GB/s", "fps"],
+            rows,
+        )
+    )
+    ffdnet = REFERENCE_PSNR["FFDNet"]
+    for spec_name, (network, complexity, perf, traffic, psnr, plain_psnr) in data.items():
+        # Every variant fits its computation budget (with 256-px input blocks).
+        assert complexity.effective_kop_per_pixel <= COMPUTATION_CONSTRAINTS[spec_name] * 1.02
+        # The 12ch packing improves on the plain DnERNet at the same spec.
+        assert psnr >= plain_psnr
+        # DRAM bandwidth stays at most ~1.8 GB/s (Appendix A).
+        assert traffic.total_gb_s <= 1.9
+        # Real-time or close to it.
+        assert perf.fps >= SPECIFICATIONS[spec_name].fps * 0.8
+    # UHD30 gains ~0.54 dB and reaches FFDNet-level quality; HD30 exceeds FFDNet.
+    uhd_gain = data["UHD30"][4] - data["UHD30"][5]
+    assert uhd_gain == pytest.approx(0.54, abs=0.05)
+    assert abs(data["UHD30"][4] - ffdnet) < 0.1
+    assert data["HD30"][4] >= ffdnet + 0.1

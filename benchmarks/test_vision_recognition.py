@@ -1,0 +1,83 @@
+"""Section 7.3: object recognition on eCNN versus Eyeriss.
+
+The 40-layer FBISA recognition network (5M parameters, ResNet-18-level
+accuracy) runs each 224x224 image as a single zero-padded block.  With the
+parameter memory tripled (area 63.99 mm^2) the paper reports 1344 fps,
+308 MB/s of DRAM and 5.25 mJ per image — orders of magnitude better than
+Eyeriss running VGG-16.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.baselines.eyeriss import EYERISS_VGG16, recognition_comparison
+from repro.fbisa.compiler import compile_network
+from repro.hw.area_power import area_report, power_report
+from repro.hw.ciu import ciu_cycles
+from repro.hw.config import DEFAULT_CONFIG
+from repro.hw.idu import idu_cycles
+from repro.models.complexity import parameter_count
+from repro.models.vision import RECOGNITION_SUMMARY, build_recognition_network
+
+
+def _evaluate():
+    network = build_recognition_network()
+    compiled = compile_network(network, input_block=224)
+    config = DEFAULT_CONFIG.with_parameter_memory(3 * 1288)
+    area = area_report(config)
+
+    # One 224x224 image is one block; pipeline IDU decode against CIU compute.
+    ciu = [ciu_cycles(i, config) for i in compiled.program]
+    idu = [idu_cycles(i, config) for i in compiled.program]
+    cycles = idu[0] + sum(
+        max(c, idu[index + 1] if index + 1 < len(idu) else 0)
+        for index, c in enumerate(ciu)
+    )
+    fps = config.clock_hz / cycles
+
+    perf_power = power_report("RecogNet40", compiled.program, utilization=0.85, config=config)
+    # Per image: the input image plus the (host-side) logits cross DRAM.
+    dram_bytes_per_image = 224 * 224 * 3 + 128 * 7 * 7
+    dram_mb_s = dram_bytes_per_image * fps / 1e6
+    energy_mj = perf_power.total / fps * 1e3
+    comparison = recognition_comparison(
+        ecnn_fps=fps,
+        ecnn_power_w=perf_power.total,
+        ecnn_dram_mb_s=dram_mb_s,
+        ecnn_area_mm2=area.total,
+        ecnn_parameters_m=parameter_count(network) / 1e6,
+    )
+    return network, compiled, area, fps, dram_mb_s, energy_mj, comparison
+
+
+def test_recognition_case_study(benchmark):
+    network, compiled, area, fps, dram_mb_s, energy_mj, comparison = benchmark(_evaluate)
+    rows = [
+        ("parameters (M)", round(parameter_count(network) / 1e6, 2)),
+        ("program length (lines)", compiled.program.num_lines),
+        ("area with 3x parameter memory (mm^2)", round(area.total, 2)),
+        ("frame rate (fps)", round(fps, 0)),
+        ("DRAM bandwidth (MB/s)", round(dram_mb_s, 0)),
+        ("energy per image (mJ)", round(energy_mj, 2)),
+        ("Eyeriss VGG-16 energy per image (mJ)", round(EYERISS_VGG16.energy_per_image_mj, 0)),
+        ("Eyeriss VGG-16 DRAM per image (MB)", round(EYERISS_VGG16.dram_per_image_mb, 0)),
+        ("paper figures", f"{RECOGNITION_SUMMARY.fps_on_ecnn} fps, 308 MB/s, 5.25 mJ"),
+    ]
+    emit(format_table("Section 7.3 — object recognition on eCNN vs Eyeriss", ["item", "value"], rows))
+
+    # ~40-layer, ~5M-parameter FBISA model.
+    assert 3e6 < parameter_count(network) < 6e6
+    assert 35 <= compiled.program.num_lines <= 45
+    # Tripling the parameter memory lands at the paper's 63.99 mm^2.
+    assert area.total == pytest.approx(63.99, rel=0.02)
+    # Throughput in the paper's ballpark (hundreds to thousands of fps) and a
+    # DRAM stream of a few hundred MB/s.
+    assert 400 <= fps <= 3000
+    assert 50 <= dram_mb_s <= 600
+    # Energy per image is tens of mJ at most — two orders of magnitude below
+    # Eyeriss running VGG-16 (337 mJ).
+    assert energy_mj < 40.0
+    assert comparison.energy_advantage > 10
+    assert comparison.dram_advantage > 100
+    assert comparison.fps_advantage > 500

@@ -1,0 +1,83 @@
+"""Section 7.3: style transfer on eCNN (Full HD ~30 fps with ~2 GB/s of DRAM).
+
+The style-transfer network downsamples twice, which makes a single
+truncated-pyramid pass expensive; the paper splits it into two sub-models to
+keep the recomputation overhead in check at the cost of streaming the
+intermediate features through DRAM once.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import format_table
+from repro.core.partition import partition_into_submodels
+from repro.fbisa.compiler import compile_network
+from repro.hw.dram import dram_traffic, select_dram
+from repro.models.vision import STYLE_TRANSFER_SUMMARY, build_style_transfer_network
+from repro.specs import SPECIFICATIONS
+
+
+def _evaluate():
+    network = build_style_transfer_network()
+    spec = SPECIFICATIONS["HD30"]
+    plan = partition_into_submodels(network, 2, 128)
+    whole = partition_into_submodels(network, 1, 128)
+    # Frame rate for the split execution: the combined NCR of the two
+    # sub-models (instead of the single-model pyramid, whose NCR explodes
+    # because of the two downsamplers) against the eCNN compute budget.
+    from repro.hw.config import DEFAULT_CONFIG
+    from repro.models.complexity import kop_per_pixel
+
+    required_tops_per_frame = (
+        kop_per_pixel(network) * 1e3 * plan.combined_ncr * spec.pixels_per_frame / 1e12
+    )
+    split_fps = DEFAULT_CONFIG.peak_tops * 0.85 / required_tops_per_frame
+    # With the two-sub-model split, DRAM carries the input image, the output
+    # image and the intermediate feature maps at the split point (written and
+    # read once each); each stream pays a modest block-overlap factor because
+    # the per-sub-model pyramids are shallow.  A single-model execution would
+    # instead pay the full-network NBR on the images.
+    overlap = 1.35
+    image_bytes_per_pixel = 3.0 + 3.0
+    split_gb_s = (
+        (image_bytes_per_pixel * overlap + plan.extra_dram_bytes_per_pixel)
+        * spec.pixel_rate
+        / 1e9
+    )
+    single_model = dram_traffic(network, spec, input_block=128)
+    compiled = compile_network(network, input_block=128)
+    return network, plan, whole, split_fps, split_gb_s, single_model, compiled
+
+
+def test_style_transfer_case_study(benchmark):
+    network, plan, whole, split_fps, split_gb_s, single_model, compiled = benchmark(_evaluate)
+    rows = [
+        ("sub-models", plan.num_submodels),
+        ("combined NCR (2 sub-models)", round(plan.combined_ncr, 2)),
+        ("combined NCR (single model)", round(whole.combined_ncr, 2)),
+        ("DRAM bandwidth, split execution (GB/s)", round(split_gb_s, 2)),
+        ("DRAM bandwidth, single model (GB/s)", round(single_model.total_gb_s, 2)),
+        ("sufficient DRAM", select_dram(split_gb_s).name),
+        ("frame rate on eCNN, split execution (fps)", round(split_fps, 1)),
+        ("program length (lines)", compiled.program.num_lines),
+        ("paper figures", f"{STYLE_TRANSFER_SUMMARY.fps_on_ecnn} fps, "
+                           f"{STYLE_TRANSFER_SUMMARY.dram_bandwidth_gb_s} GB/s"),
+    ]
+    emit(format_table("Section 7.3 — style transfer on eCNN (Full HD)", ["item", "value"], rows))
+
+    # Splitting into two sub-models reduces the recomputation overhead at the
+    # price of streaming intermediate features through DRAM.
+    assert plan.num_submodels == 2
+    assert plan.combined_ncr < whole.combined_ncr
+    assert plan.extra_dram_bytes_per_pixel > 0
+    # DRAM bandwidth stays in the ~2 GB/s class the paper reports (1.91 GB/s),
+    # still low-end DRAM territory.
+    assert split_gb_s == pytest.approx(1.91, rel=0.5)
+    assert split_gb_s < 3.2
+    # Full HD throughput lands near the paper's 29.5 fps; comfortably above
+    # the 20 fps the Titan X reference achieves at 512x512.
+    assert split_fps > 20.0
+    assert split_fps == pytest.approx(29.5, rel=0.5)
+    # FBISA-compatible: a concise program with <= 4 leaf-modules per line.
+    assert compiled.program.num_lines < 30
+    assert all(i.leaf_modules <= 4 for i in compiled.program)

@@ -1,0 +1,89 @@
+"""Design-space exploration: block size, model depth and sub-model splits.
+
+Reproduces the reasoning of Sections 3-4 interactively: how the NBR/NCR
+overheads move with the block-buffer size, how the model-scanning procedure
+picks an ERNet under each real-time constraint, and when splitting a deep
+model into sub-models pays off.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.overheads import (
+    block_buffer_bytes,
+    block_size_for_buffer,
+    general_ncr,
+    normalized_bandwidth_ratio,
+    normalized_computation_ratio,
+)
+from repro.core.partition import partition_into_submodels
+from repro.models import build_srresnet, build_vdsr
+from repro.models.scanning import scan_models
+from repro.specs import COMPUTATION_CONSTRAINTS
+
+
+def overhead_study() -> None:
+    rows = [
+        (round(beta, 2), round(normalized_bandwidth_ratio(beta), 1),
+         round(normalized_computation_ratio(beta), 2))
+        for beta in (0.05, 0.1, 0.2, 0.3, 0.4)
+    ]
+    print(format_table(
+        "Truncated-pyramid overheads vs depth-input ratio (Fig. 5a)",
+        ["beta", "NBR", "NCR"], rows,
+    ))
+
+    vdsr, srresnet = build_vdsr(), build_srresnet(upscale=1)
+
+    def ncr_or_inf(network, block):
+        try:
+            return round(general_ncr(network.layers, block), 2)
+        except ValueError:
+            return float("inf")  # block fully consumed: the NCR has diverged
+
+    rows = []
+    for buffer_kb in (512, 1024, 2048):
+        block = block_size_for_buffer(buffer_kb * 1024, 64, 16)
+        rows.append(
+            (buffer_kb, block, ncr_or_inf(vdsr, block), ncr_or_inf(srresnet, block))
+        )
+    print()
+    print(format_table(
+        "NCR vs block-buffer size for VDSR and SRResNet (Fig. 5b)",
+        ["buffer (KB)", "block (px)", "VDSR NCR", "SRResNet NCR"], rows,
+    ))
+
+
+def scanning_study() -> None:
+    print("\nModel scanning for four-times SR (Fig. 8):")
+    for name, budget in COMPUTATION_CONSTRAINTS.items():
+        result = scan_models("sr4", budget, module_counts=(8, 20, 34))
+        best = result.best
+        print(f"  {name:6s} budget {budget:5.0f} KOP/px -> {best.name} "
+              f"(RE={best.expansion_ratio:.2f}, NCR={best.ncr:.2f}, "
+              f"predicted {best.predicted_psnr:.2f} dB)")
+
+
+def submodel_study() -> None:
+    print("\nSub-model splitting for a deep model (Fig. 12 trade-off):")
+    srresnet = build_srresnet(upscale=1)
+    for pieces in (1, 2, 3):
+        plan = partition_into_submodels(srresnet, pieces, 96)
+        print(f"  {pieces} sub-model(s): combined NCR {plan.combined_ncr:.2f}, "
+              f"extra DRAM {plan.extra_dram_bytes_per_pixel:.1f} B/pixel")
+    print(f"  (block buffer for 96-px blocks at 64 ch: "
+          f"{block_buffer_bytes(64, 96) // 1024} KB)")
+
+
+def main() -> None:
+    overhead_study()
+    scanning_study()
+    submodel_study()
+
+
+if __name__ == "__main__":
+    main()

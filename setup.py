@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail.  Keeping a setup.py
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+the classic ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

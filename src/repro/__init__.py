@@ -1,0 +1,32 @@
+"""repro — a Python reproduction of eCNN (MICRO 2019).
+
+eCNN: A Block-Based and Highly-Parallel CNN Accelerator for Edge Inference,
+Huang et al., MICRO-52, 2019.
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy CNN inference substrate (convolutions, shuffles, networks).
+``repro.quant``
+    Dynamic fixed-point quantization (Q-formats, L1/L2 precision search).
+``repro.core``
+    Block-based truncated-pyramid inference flow and its overhead analytics.
+``repro.models``
+    The ERNet model family, baseline networks and the model-scanning /
+    quality machinery.
+``repro.fbisa``
+    The FBISA coarse-grained instruction set, compiler and parameter
+    bitstream coding.
+``repro.hw``
+    The eCNN processor model: timing, area, power and DRAM.
+``repro.baselines``
+    Comparator systems: frame-based flow, fused-layer flow, Diffy, IDEAL,
+    Eyeriss and a SCALE-Sim-style systolic array.
+``repro.analysis``
+    Workload generators, sweeps and report formatting used by the benchmark
+    harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

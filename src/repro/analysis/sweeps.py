@@ -1,0 +1,17 @@
+"""Parameter sweep helper used by figure-style benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+X = TypeVar("X")
+Y = TypeVar("Y")
+
+
+def sweep(values: Sequence[X], function: Callable[[X], Y]) -> List[Tuple[X, Y]]:
+    """Evaluate ``function`` over ``values`` returning (x, y) pairs.
+
+    Exceptions are not swallowed: a sweep point that fails is a real failure
+    of the model under test.
+    """
+    return [(value, function(value)) for value in values]

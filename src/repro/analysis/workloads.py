@@ -1,0 +1,70 @@
+"""Deterministic synthetic image workloads.
+
+The paper evaluates on photographic datasets (DIV2K, Set5, CBSD68, ...).
+Offline, we substitute deterministic synthetic images whose second-order
+statistics resemble natural images (a 1/f amplitude spectrum with smooth
+gradients and edges), which is sufficient for everything the hardware
+evaluation measures: value distributions for quantization, functional
+equivalence checks, and traffic/latency accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import FeatureMap
+
+
+def synthetic_image(
+    height: int, width: int, *, channels: int = 3, seed: int = 0
+) -> FeatureMap:
+    """A deterministic natural-image-like test image with values in [0, 1].
+
+    The image is a sum of smooth low-frequency gradients, a few oriented
+    edges and low-amplitude texture noise — enough structure for denoising
+    and super-resolution code paths to behave realistically.
+    """
+    if height < 4 or width < 4:
+        raise ValueError("image must be at least 4x4")
+    rng = np.random.default_rng(seed)
+    y = np.linspace(0.0, 1.0, height)[:, np.newaxis]
+    x = np.linspace(0.0, 1.0, width)[np.newaxis, :]
+    data = np.zeros((channels, height, width))
+    for channel in range(channels):
+        phase = rng.uniform(0, 2 * np.pi)
+        freq_y = rng.uniform(1.0, 3.0)
+        freq_x = rng.uniform(1.0, 3.0)
+        gradient = 0.35 + 0.3 * np.sin(2 * np.pi * freq_y * y + phase) * np.cos(
+            2 * np.pi * freq_x * x
+        )
+        edge_position = rng.uniform(0.3, 0.7)
+        edge = 0.25 * (x > edge_position)
+        texture = 0.04 * rng.standard_normal((height, width))
+        data[channel] = np.clip(gradient + edge + texture, 0.0, 1.0)
+    return FeatureMap(data=data)
+
+
+def add_gaussian_noise(image: FeatureMap, sigma: float, *, seed: int = 0) -> FeatureMap:
+    """Additive white Gaussian noise (the denoising task's degradation)."""
+    if sigma < 0:
+        raise ValueError("sigma cannot be negative")
+    rng = np.random.default_rng(seed)
+    noisy = image.data + rng.normal(0.0, sigma, size=image.data.shape)
+    return image.with_data(np.clip(noisy, 0.0, 1.0))
+
+
+def bicubic_like_downsample(image: FeatureMap, factor: int) -> FeatureMap:
+    """Anti-aliased downsampling (the SR task's degradation).
+
+    A box prefilter followed by decimation — not exactly bicubic, but it
+    produces band-limited low-resolution inputs the SR networks expect.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return image
+    c, h, w = image.shape
+    if h % factor or w % factor:
+        raise ValueError(f"image {h}x{w} is not divisible by factor {factor}")
+    data = image.data.reshape(c, h // factor, factor, w // factor, factor)
+    return image.with_data(data.mean(axis=(2, 4)))

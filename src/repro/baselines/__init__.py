@@ -1,0 +1,41 @@
+"""Comparator systems the paper evaluates against.
+
+* :mod:`repro.baselines.frame_based` — the conventional frame-based inference
+  flow and its DRAM bandwidth (Eq. 1, the motivation of Section 2);
+* :mod:`repro.baselines.layer_fusion` — the fused-layer line-buffer flow of
+  Alwani et al. and its SRAM cost;
+* :mod:`repro.baselines.diffy` / :mod:`repro.baselines.ideal` — the published
+  figures of the Diffy and IDEAL computational-imaging processors (Table 7);
+* :mod:`repro.baselines.eyeriss` — Eyeriss figures for the object-recognition
+  comparison of Section 7.3;
+* :mod:`repro.baselines.scale_sim` — a SCALE-Sim-style systolic-array (TPU
+  configuration) timing and bandwidth model for the Section 7.2 study.
+"""
+
+from repro.baselines.frame_based import (
+    FrameBasedReport,
+    frame_based_feature_bandwidth,
+    frame_based_report,
+)
+from repro.baselines.layer_fusion import fused_layer_line_buffer_bytes
+from repro.baselines.diffy import DIFFY_FFDNET, DIFFY_VDSR, AcceleratorFigure
+from repro.baselines.ideal import IDEAL_BM3D
+from repro.baselines.eyeriss import EYERISS_VGG16, RecognitionComparison, recognition_comparison
+from repro.baselines.scale_sim import SystolicConfig, TPU_CONFIG, simulate_systolic
+
+__all__ = [
+    "AcceleratorFigure",
+    "DIFFY_FFDNET",
+    "DIFFY_VDSR",
+    "EYERISS_VGG16",
+    "FrameBasedReport",
+    "IDEAL_BM3D",
+    "RecognitionComparison",
+    "SystolicConfig",
+    "TPU_CONFIG",
+    "frame_based_feature_bandwidth",
+    "frame_based_report",
+    "fused_layer_line_buffer_bytes",
+    "recognition_comparison",
+    "simulate_systolic",
+]

@@ -1,0 +1,68 @@
+"""Published figures for the Diffy accelerator (Mahmoud et al., MICRO 2018).
+
+Diffy exploits bit sparsity in activation *differences* to reduce DRAM access
+and compute for computational-imaging CNNs.  The paper compares against the
+numbers Diffy reports for FFDNet (8 tiles) and VDSR (16 tiles) at Full HD
+30 fps with dual-channel DDR3-2133 (Table 7).  Because Diffy's acceleration
+depends on input statistics, its throughput varies with content — unlike
+eCNN's constant pixel rate — which the ``throughput_is_constant`` flag records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AcceleratorFigure:
+    """Reported operating point of a comparison accelerator."""
+
+    name: str
+    workload: str
+    task: str
+    specification: str
+    power_w: float
+    dram_setting: str
+    dram_bandwidth_gb_s: float
+    technology_nm: int
+    throughput_is_constant: bool
+    tiles: Optional[int] = None
+    notes: str = ""
+
+    def power_ratio_versus(self, other_power_w: float) -> float:
+        """How many times more power this design draws than ``other_power_w``."""
+        if other_power_w <= 0:
+            raise ValueError("other_power_w must be positive")
+        return self.power_w / other_power_w
+
+
+#: Diffy running FFDNet denoising at Full HD 30 fps (8 tiles).
+DIFFY_FFDNET = AcceleratorFigure(
+    name="Diffy",
+    workload="FFDNet",
+    task="denoising",
+    specification="HD30",
+    power_w=27.16,
+    dram_setting="dual-channel DDR3-2133",
+    dram_bandwidth_gb_s=34.1,
+    technology_nm=65,
+    throughput_is_constant=False,
+    tiles=8,
+    notes="throughput depends on activation-difference sparsity of the input",
+)
+
+#: Diffy running VDSR four-times SR at Full HD 30 fps (16 tiles).
+DIFFY_VDSR = AcceleratorFigure(
+    name="Diffy",
+    workload="VDSR",
+    task="super-resolution",
+    specification="HD30",
+    power_w=54.32,
+    dram_setting="dual-channel DDR3-2133",
+    dram_bandwidth_gb_s=34.1,
+    technology_nm=65,
+    throughput_is_constant=False,
+    tiles=16,
+    notes="throughput depends on activation-difference sparsity of the input",
+)

@@ -1,0 +1,95 @@
+"""Eyeriss comparison for the object-recognition case study (Section 7.3).
+
+The paper contrasts eCNN running its 40-layer FBISA recognition network with
+Eyeriss running VGG-16: energy per image, DRAM access per image, frame rate
+and core area.  Eyeriss figures are the published ones (Chen et al., JSSC
+2017); the eCNN side comes from this reproduction's hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecognitionFigure:
+    """Reported recognition operating point of an accelerator."""
+
+    name: str
+    workload: str
+    fps: float
+    power_w: float
+    dram_bandwidth_mb_s: float
+    area_mm2: float
+    technology_nm: int
+    top1_accuracy: float
+    parameters_m: float
+
+    @property
+    def energy_per_image_mj(self) -> float:
+        return self.power_w / self.fps * 1e3
+
+    @property
+    def dram_per_image_mb(self) -> float:
+        return self.dram_bandwidth_mb_s / self.fps
+
+
+#: Eyeriss running VGG-16: 0.7 fps (4.3 s for a batch of three images),
+#: 236 mW, 74 MB/s of DRAM bandwidth, 12.25 mm^2 of 65 nm core area.
+EYERISS_VGG16 = RecognitionFigure(
+    name="Eyeriss",
+    workload="VGG-16",
+    fps=0.7,
+    power_w=0.236,
+    dram_bandwidth_mb_s=74.0,
+    area_mm2=12.25,
+    technology_nm=65,
+    top1_accuracy=71.5,
+    parameters_m=138.0,
+)
+
+
+@dataclass(frozen=True)
+class RecognitionComparison:
+    """eCNN-vs-Eyeriss recognition comparison (energy and DRAM per image)."""
+
+    ecnn: RecognitionFigure
+    eyeriss: RecognitionFigure
+
+    @property
+    def energy_advantage(self) -> float:
+        """How many times less energy per image eCNN uses."""
+        return self.eyeriss.energy_per_image_mj / self.ecnn.energy_per_image_mj
+
+    @property
+    def dram_advantage(self) -> float:
+        """How many times less DRAM traffic per image eCNN needs."""
+        return self.eyeriss.dram_per_image_mb / self.ecnn.dram_per_image_mb
+
+    @property
+    def fps_advantage(self) -> float:
+        return self.ecnn.fps / self.eyeriss.fps
+
+
+def recognition_comparison(
+    *,
+    ecnn_fps: float,
+    ecnn_power_w: float,
+    ecnn_dram_mb_s: float,
+    ecnn_area_mm2: float,
+    ecnn_top1: float = 69.7,
+    ecnn_parameters_m: float = 5.0,
+) -> RecognitionComparison:
+    """Build the Section 7.3 comparison from measured eCNN-side figures."""
+    ecnn = RecognitionFigure(
+        name="eCNN",
+        workload="RecogNet40-FBISA",
+        fps=ecnn_fps,
+        power_w=ecnn_power_w,
+        dram_bandwidth_mb_s=ecnn_dram_mb_s,
+        area_mm2=ecnn_area_mm2,
+        technology_nm=40,
+        top1_accuracy=ecnn_top1,
+        parameters_m=ecnn_parameters_m,
+    )
+    return RecognitionComparison(ecnn=ecnn, eyeriss=EYERISS_VGG16)

@@ -1,0 +1,25 @@
+"""Published figures for the IDEAL accelerator (Mahmoud et al., MICRO 2017).
+
+IDEAL accelerates BM3D-family denoising (not a CNN) and is the second
+computational-imaging comparison point of Table 7.  Like Diffy it relies on
+input statistics, so its throughput varies with content, and it requires
+dual-channel DDR3-1333 for Full HD 30 fps.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.diffy import AcceleratorFigure
+
+#: IDEAL running BM3D denoising at Full HD 30 fps.
+IDEAL_BM3D = AcceleratorFigure(
+    name="IDEAL",
+    workload="BM3D",
+    task="denoising",
+    specification="HD30",
+    power_w=12.05,
+    dram_setting="dual-channel DDR3-1333",
+    dram_bandwidth_gb_s=21.3,
+    technology_nm=65,
+    throughput_is_constant=False,
+    notes="accelerates BM3D, not a CNN; quality below CNN denoisers",
+)

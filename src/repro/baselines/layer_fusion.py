@@ -1,0 +1,67 @@
+"""Fused-layer line-buffer flow (Alwani et al., discussed in Section 1).
+
+Layer fusion avoids DRAM traffic for intermediate feature maps by keeping a
+sliding window of rows (a line buffer) for every fused layer.  Its SRAM cost
+grows linearly with model depth, image width and channel count — the paper's
+example is 9.3 MB for VDSR at Full HD — which is what motivates the
+recompute-based block flow instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def fused_layer_line_buffer_bytes(
+    depth: int,
+    channels: int,
+    image_width: int,
+    *,
+    feature_bits: int = 16,
+    rows_per_layer: int = 2,
+) -> int:
+    """SRAM needed to fuse a depth-``depth`` 3x3 network over a full image width.
+
+    Every fused layer boundary keeps ``rows_per_layer`` rows of its feature
+    map (the overlap a 3x3 window needs): ``rows x W x C x L`` bits per
+    boundary, with ``depth - 1`` boundaries.
+    """
+    if depth < 2:
+        raise ValueError("fusion needs at least two layers")
+    if channels < 1 or image_width < 1:
+        raise ValueError("channels and image_width must be positive")
+    bits = rows_per_layer * image_width * channels * feature_bits * (depth - 1)
+    return bits // 8
+
+
+@dataclass(frozen=True)
+class FusionComparison:
+    """SRAM cost of fusion versus the block-buffer cost of the block flow."""
+
+    model_name: str
+    fused_line_buffer_bytes: int
+    block_buffer_bytes: int
+
+    @property
+    def sram_ratio(self) -> float:
+        """How much more SRAM fusion needs than the block-based flow."""
+        return self.fused_line_buffer_bytes / self.block_buffer_bytes
+
+
+def fusion_comparison(
+    model_name: str,
+    depth: int,
+    channels: int,
+    image_width: int,
+    block_buffer_bytes: int,
+    *,
+    feature_bits: int = 16,
+) -> FusionComparison:
+    """Compare fused-layer SRAM against the block-based flow's block buffers."""
+    return FusionComparison(
+        model_name=model_name,
+        fused_line_buffer_bytes=fused_layer_line_buffer_bytes(
+            depth, channels, image_width, feature_bits=feature_bits
+        ),
+        block_buffer_bytes=block_buffer_bytes,
+    )

@@ -1,0 +1,64 @@
+"""Block-based truncated-pyramid inference flow (Section 3 of the paper).
+
+This is the paper's primary contribution on the inference-flow side: instead
+of running convolutions frame by frame (which streams every intermediate
+feature map through DRAM), the input image is partitioned into blocks that
+fit in on-chip block buffers.  Each block is extended with enough border
+context that a stack of valid convolutions produces exactly the target output
+block, the overlapped border features are *recomputed* for neighbouring
+blocks (trading computation for SRAM), and the per-block outputs are stitched
+back into the full-resolution image.
+
+The subpackage provides:
+
+* :mod:`repro.core.blockflow` — the executor: partition, per-block inference,
+  stitching, and an equivalence check against frame-based execution;
+* :mod:`repro.core.overheads` — the NBR / NCR analytical overhead model
+  (Eqs. 2-3) plus its generalisation to arbitrary layer stacks;
+* :mod:`repro.core.partition` — sub-model partitioning (Fig. 12) and the
+  DRAM-traffic trade-off it introduces;
+* :mod:`repro.core.pipeline` — an end-to-end convenience API combining model,
+  block geometry and hardware configuration.
+"""
+
+from repro.core.blockflow import (
+    BlockGrid,
+    BlockSpec,
+    block_based_inference,
+    frame_based_inference,
+    partition_image,
+    stitch_blocks,
+)
+from repro.core.overheads import (
+    OverheadReport,
+    block_buffer_bytes,
+    general_nbr,
+    general_ncr,
+    normalized_bandwidth_ratio,
+    normalized_computation_ratio,
+    overhead_report,
+    pyramid_volume,
+)
+from repro.core.partition import SubModelPlan, partition_into_submodels
+from repro.core.pipeline import BlockInferencePipeline, InferenceResult
+
+__all__ = [
+    "BlockGrid",
+    "BlockInferencePipeline",
+    "BlockSpec",
+    "InferenceResult",
+    "OverheadReport",
+    "SubModelPlan",
+    "block_based_inference",
+    "block_buffer_bytes",
+    "frame_based_inference",
+    "general_nbr",
+    "general_ncr",
+    "normalized_bandwidth_ratio",
+    "normalized_computation_ratio",
+    "overhead_report",
+    "partition_image",
+    "partition_into_submodels",
+    "pyramid_volume",
+    "stitch_blocks",
+]

@@ -1,0 +1,325 @@
+"""Block partitioning, truncated-pyramid execution and stitching.
+
+Frame-based reference
+---------------------
+The reproduction defines the frame-based reference as: pad the input image
+once by the network's total (input-resolution) margin and run the valid-mode
+network over the whole padded frame.  The block-based flow draws every block's
+input window from that same padded frame, so the stitched output is *exactly*
+equal to the frame-based output — this is the core functional invariant the
+eCNN hardware relies on (recomputation changes cost, never values).
+
+Geometry
+--------
+Blocks are defined on the output-resolution grid.  For every output block the
+required input window is derived by walking the layer stack backwards
+(:func:`input_interval_for_output`): a valid 3x3 convolution widens the window
+by one pixel per side, a pixel-shuffle upsampler divides coordinates by its
+factor, a pooling/unshuffle stage multiplies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.network import Sequential
+from repro.nn.receptive_field import layer_geometry
+from repro.nn.tensor import FeatureMap
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One block of the output grid and the input window that produces it.
+
+    All output coordinates are in output-resolution pixels; input coordinates
+    are in input-resolution pixels relative to the *unpadded* input image
+    (they may be negative or exceed the image size — those samples come from
+    the zero border).
+    """
+
+    out_row: int
+    out_col: int
+    out_height: int
+    out_width: int
+    in_row: int
+    in_col: int
+    in_height: int
+    in_width: int
+
+    @property
+    def output_pixels(self) -> int:
+        return self.out_height * self.out_width
+
+    @property
+    def input_pixels(self) -> int:
+        return self.in_height * self.in_width
+
+
+@dataclass
+class BlockGrid:
+    """A full partition of an image into blocks plus aggregate statistics."""
+
+    image_height: int
+    image_width: int
+    output_height: int
+    output_width: int
+    block_size: int
+    blocks: List[BlockSpec] = field(default_factory=list)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_input_pixels(self) -> int:
+        return sum(block.input_pixels for block in self.blocks)
+
+    @property
+    def total_output_pixels(self) -> int:
+        return sum(block.output_pixels for block in self.blocks)
+
+    def measured_nbr(self, in_channels: int = 3, out_channels: int = 3) -> float:
+        """Measured normalized bandwidth ratio for this partition.
+
+        Bandwidth for all input and output blocks over the bandwidth of the
+        output image alone (the paper's Eq. 2 counts both against 3*xo^2).
+        """
+        out_image = self.output_height * self.output_width * out_channels
+        moved = (
+            self.total_input_pixels * in_channels
+            + self.total_output_pixels * out_channels
+        )
+        return moved / out_image
+
+
+def input_interval_for_output(
+    start: int, stop: int, layers: Sequence[Layer]
+) -> Tuple[int, int]:
+    """Map an output-coordinate interval ``[start, stop)`` back to input coordinates.
+
+    The walk goes from the last layer to the first, applying the inverse of
+    each layer's spatial geometry.
+    """
+    lo, hi = start, stop
+    for layer in reversed(list(layers)):
+        geom = layer_geometry(layer)
+        if geom.scale > 1.0:
+            factor = int(round(geom.scale))
+            lo = lo // factor
+            hi = -((-hi) // factor)  # ceil division
+        elif geom.scale < 1.0:
+            factor = int(round(1.0 / geom.scale))
+            lo = lo * factor
+            hi = hi * factor
+        lo -= geom.margin
+        hi += geom.margin
+    return lo, hi
+
+
+def output_interval_for_input(
+    start: int, stop: int, layers: Sequence[Layer]
+) -> Tuple[int, int]:
+    """Map an input-coordinate interval forward to the output pixels it produces.
+
+    Inverse companion of :func:`input_interval_for_output`: walking the stack
+    forwards, a valid convolution trims its margin from both ends, an
+    upsampler multiplies coordinates and a pooling stage divides them.
+    """
+    lo, hi = start, stop
+    for layer in layers:
+        geom = layer_geometry(layer)
+        lo += geom.margin
+        hi -= geom.margin
+        if geom.scale > 1.0:
+            factor = int(round(geom.scale))
+            lo *= factor
+            hi *= factor
+        elif geom.scale < 1.0:
+            factor = int(round(1.0 / geom.scale))
+            lo = -((-lo) // factor)
+            hi = hi // factor
+    return lo, hi
+
+
+def total_input_margin(layers: Sequence[Layer]) -> int:
+    """Input-resolution border needed per side to produce output pixel 0."""
+    lo, _hi = input_interval_for_output(0, 1, layers)
+    return -lo
+
+
+def network_scale(layers: Sequence[Layer]) -> float:
+    """Net output/input spatial scale of a layer stack."""
+    scale = 1.0
+    for layer in layers:
+        scale *= layer_geometry(layer).scale
+    return scale
+
+
+def partition_image(
+    image_height: int,
+    image_width: int,
+    network: Sequential,
+    output_block: int,
+) -> BlockGrid:
+    """Partition the output grid of ``network`` applied to an image into blocks.
+
+    Parameters
+    ----------
+    image_height, image_width:
+        Input image size in pixels.
+    network:
+        The model; its layers define margins and scale factors.
+    output_block:
+        Target (square) output block size in output-resolution pixels.
+        Blocks at the right/bottom edges may be smaller.
+    """
+    if output_block <= 0:
+        raise ValueError("output_block must be positive")
+    scale = network_scale(network.layers)
+    out_h = int(round(image_height * scale))
+    out_w = int(round(image_width * scale))
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("network scale collapses the image to zero size")
+
+    grid = BlockGrid(
+        image_height=image_height,
+        image_width=image_width,
+        output_height=out_h,
+        output_width=out_w,
+        block_size=output_block,
+    )
+    for row in range(0, out_h, output_block):
+        for col in range(0, out_w, output_block):
+            block_h = min(output_block, out_h - row)
+            block_w = min(output_block, out_w - col)
+            in_r0, in_r1 = input_interval_for_output(row, row + block_h, network.layers)
+            in_c0, in_c1 = input_interval_for_output(col, col + block_w, network.layers)
+            grid.blocks.append(
+                BlockSpec(
+                    out_row=row,
+                    out_col=col,
+                    out_height=block_h,
+                    out_width=block_w,
+                    in_row=in_r0,
+                    in_col=in_c0,
+                    in_height=in_r1 - in_r0,
+                    in_width=in_c1 - in_c0,
+                )
+            )
+    return grid
+
+
+def frame_based_inference(network: Sequential, image: FeatureMap) -> FeatureMap:
+    """Reference frame-based execution: pad once, run the whole frame.
+
+    The result is cropped to the canonical ``scale x image`` output size; with
+    upsampling stages the padded margin can produce a few surplus border
+    pixels that no output region owns.
+    """
+    margin = total_input_margin(network.layers)
+    padded = np.pad(image.data, ((0, 0), (margin, margin), (margin, margin)))
+    result = network.forward(image.with_data(padded))
+    scale = network_scale(network.layers)
+    out_h = int(round(image.height * scale))
+    out_w = int(round(image.width * scale))
+    if result.height == out_h and result.width == out_w:
+        return result
+    produced_row, _ = output_interval_for_input(-margin, image.height + margin, network.layers)
+    produced_col, _ = output_interval_for_input(-margin, image.width + margin, network.layers)
+    return result.crop(-produced_row, -produced_col, out_h, out_w)
+
+
+def block_based_inference(
+    network: Sequential,
+    image: FeatureMap,
+    output_block: int,
+) -> Tuple[FeatureMap, BlockGrid]:
+    """Run the block-based truncated-pyramid flow and stitch the result.
+
+    Returns the stitched output feature map and the block grid (for overhead
+    accounting).  The stitched output equals :func:`frame_based_inference`
+    exactly.
+    """
+    grid = partition_image(image.height, image.width, network, output_block)
+    margin = total_input_margin(network.layers)
+    padded = np.pad(image.data, ((0, 0), (margin, margin), (margin, margin)))
+
+    output: np.ndarray | None = None
+    for block in grid.blocks:
+        r0 = block.in_row + margin
+        c0 = block.in_col + margin
+        window = padded[:, r0 : r0 + block.in_height, c0 : c0 + block.in_width]
+        if window.shape[1] != block.in_height or window.shape[2] != block.in_width:
+            raise ValueError(
+                "input window exceeds the padded image; "
+                "the network margin accounting is inconsistent"
+            )
+        result = network.forward(image.with_data(window.copy()))
+        result = _crop_to_block(result, block, network.layers)
+        if output is None:
+            output = np.zeros(
+                (result.channels, grid.output_height, grid.output_width),
+                dtype=result.data.dtype,
+            )
+        output[
+            :,
+            block.out_row : block.out_row + block.out_height,
+            block.out_col : block.out_col + block.out_width,
+        ] = result.data
+    assert output is not None
+    return FeatureMap(data=output), grid
+
+
+def _crop_to_block(
+    result: FeatureMap, block: BlockSpec, layers: Sequence[Layer]
+) -> FeatureMap:
+    """Crop a block's raw output to the output region the block owns.
+
+    Because upsampling/pooling stages force the input window onto coarser
+    alignment, the computed output can be slightly larger than the requested
+    block; the surplus pixels belong to neighbouring blocks and are dropped.
+    """
+    if result.height == block.out_height and result.width == block.out_width:
+        return result
+    produced_row, _ = output_interval_for_input(
+        block.in_row, block.in_row + block.in_height, layers
+    )
+    produced_col, _ = output_interval_for_input(
+        block.in_col, block.in_col + block.in_width, layers
+    )
+    top = block.out_row - produced_row
+    left = block.out_col - produced_col
+    if top < 0 or left < 0:
+        raise ValueError(
+            "block output does not cover its assigned region; "
+            "the margin accounting is inconsistent"
+        )
+    return result.crop(top, left, block.out_height, block.out_width)
+
+
+def stitch_blocks(
+    blocks: Sequence[Tuple[BlockSpec, FeatureMap]],
+    output_height: int,
+    output_width: int,
+) -> FeatureMap:
+    """Stitch per-block outputs into a full image (used by the hw executor)."""
+    if not blocks:
+        raise ValueError("no blocks to stitch")
+    channels = blocks[0][1].channels
+    output = np.zeros((channels, output_height, output_width), dtype=np.float64)
+    for spec, fm in blocks:
+        if fm.height != spec.out_height or fm.width != spec.out_width:
+            raise ValueError(
+                f"block output {fm.height}x{fm.width} does not match spec "
+                f"{spec.out_height}x{spec.out_width}"
+            )
+        output[
+            :,
+            spec.out_row : spec.out_row + spec.out_height,
+            spec.out_col : spec.out_col + spec.out_width,
+        ] = fm.data
+    return FeatureMap(data=output)

@@ -1,0 +1,64 @@
+"""FBISA — the feature-block instruction set architecture (Section 5).
+
+FBISA is a coarse-grained SIMD instruction set whose operands are whole
+feature blocks held in on-chip block buffers.  A single instruction performs
+one convolution task (up to four 32-channel leaf-modules) over an entire
+block; there are no load/store instructions — external data enters and leaves
+through the virtual block buffers ``DI`` and ``DO``.
+
+Modules
+-------
+* :mod:`repro.fbisa.isa` — opcodes, operands and the instruction container;
+* :mod:`repro.fbisa.program` — programs (ordered instruction lists) and their
+  validation;
+* :mod:`repro.fbisa.assembler` — the textual assembly format (named operands)
+  and its parser;
+* :mod:`repro.fbisa.encoding` — binary instruction encoding (program size);
+* :mod:`repro.fbisa.compiler` — the ERNet -> FBISA compiler;
+* :mod:`repro.fbisa.huffman` — the JPEG-style DC Huffman coder used for
+  parameter compression;
+* :mod:`repro.fbisa.params` — the 20+1 parameter bitstream packer with
+  restart segments.
+"""
+
+from repro.fbisa.isa import (
+    BlockBufferId,
+    FeatureOperand,
+    InferenceType,
+    Instruction,
+    Opcode,
+    ParameterOperand,
+)
+from repro.fbisa.program import Program
+from repro.fbisa.assembler import assemble, disassemble
+from repro.fbisa.compiler import compile_network
+from repro.fbisa.encoding import encode_instruction, encode_program, instruction_size_bytes
+from repro.fbisa.huffman import HuffmanTable, decode_values, encode_values, entropy_bits_per_symbol
+from repro.fbisa.params import (
+    ParameterBitstreams,
+    RestartSegment,
+    pack_parameters,
+)
+
+__all__ = [
+    "BlockBufferId",
+    "FeatureOperand",
+    "HuffmanTable",
+    "InferenceType",
+    "Instruction",
+    "Opcode",
+    "ParameterBitstreams",
+    "ParameterOperand",
+    "Program",
+    "RestartSegment",
+    "assemble",
+    "compile_network",
+    "decode_values",
+    "disassemble",
+    "encode_instruction",
+    "encode_program",
+    "encode_values",
+    "entropy_bits_per_symbol",
+    "instruction_size_bytes",
+    "pack_parameters",
+]

@@ -1,0 +1,209 @@
+"""Parameter bitstream packing (Section 5.2, Fig. 11).
+
+The filter weights of every instruction are split into 20 bitstreams so the
+IDU can load and distribute them in parallel: 18 streams for CONV3x3 (9
+filter positions x 2 halves of the output channels) and 2 for CONV1x1.  The
+biases form a 21st stream.  Each stream is DC-Huffman coded; one restart
+segment per instruction lets parameters be reused between instructions via
+byte-aligned restart addresses, and the 21 streams of a segment are
+synchronized by padding the shorter ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fbisa.huffman import EncodedStream, encode_values, entropy_bits_per_symbol
+from repro.fbisa.isa import LEAF_CHANNELS
+
+#: Stream counts of the FBISA parameter format.
+NUM_WEIGHT_STREAMS_3X3 = 18
+NUM_WEIGHT_STREAMS_1X1 = 2
+NUM_WEIGHT_STREAMS = NUM_WEIGHT_STREAMS_3X3 + NUM_WEIGHT_STREAMS_1X1
+NUM_STREAMS = NUM_WEIGHT_STREAMS + 1  # plus the bias stream
+
+_HALF = LEAF_CHANNELS // 2  # 16 output channels per stream half
+
+
+@dataclass(frozen=True)
+class InstructionParameters:
+    """Quantized integer parameters belonging to one instruction.
+
+    ``weights3x3`` has shape ``(out_channels, in_channels, 3, 3)``;
+    ``weights1x1`` (ER instructions only) has shape ``(out_channels, expanded)``;
+    ``biases`` is one-dimensional.  All values are integer codes of the
+    instruction's Q-format.
+    """
+
+    weights3x3: np.ndarray
+    biases: np.ndarray
+    weights1x1: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.weights3x3.ndim != 4 or self.weights3x3.shape[2:] != (3, 3):
+            raise ValueError(
+                f"weights3x3 must have shape (out, in, 3, 3), got {self.weights3x3.shape}"
+            )
+        if self.biases.ndim != 1:
+            raise ValueError("biases must be one-dimensional")
+        if self.weights1x1 is not None and self.weights1x1.ndim != 2:
+            raise ValueError("weights1x1 must have shape (out, in)")
+
+    @property
+    def raw_bits(self) -> int:
+        """Uncompressed footprint at 8 bits per coefficient."""
+        count = self.weights3x3.size + self.biases.size
+        if self.weights1x1 is not None:
+            count += self.weights1x1.size
+        return int(count) * 8
+
+
+def _pad_channels(array: np.ndarray, axis: int, multiple: int) -> np.ndarray:
+    """Zero-pad a channel axis up to a multiple (hardware group size)."""
+    size = array.shape[axis]
+    target = ((size + multiple - 1) // multiple) * multiple
+    if target == size:
+        return array
+    pad_widths = [(0, 0)] * array.ndim
+    pad_widths[axis] = (0, target - size)
+    return np.pad(array, pad_widths)
+
+
+def split_into_streams(params: InstructionParameters) -> List[List[int]]:
+    """Split one instruction's parameters into the 21 FBISA streams.
+
+    Streams 0-17: position (dy, dx) x output-channel half for the 3x3 filter;
+    streams 18-19: output-channel halves of the 1x1 filter (empty when the
+    instruction has no 1x1 stage); stream 20: biases.
+    """
+    streams: List[List[int]] = [[] for _ in range(NUM_STREAMS)]
+
+    w3 = _pad_channels(_pad_channels(params.weights3x3, 0, LEAF_CHANNELS), 1, LEAF_CHANNELS)
+    out_ch, in_ch = w3.shape[:2]
+    for leaf in range(out_ch // LEAF_CHANNELS):
+        for group in range(in_ch // LEAF_CHANNELS):
+            block = w3[
+                leaf * LEAF_CHANNELS : (leaf + 1) * LEAF_CHANNELS,
+                group * LEAF_CHANNELS : (group + 1) * LEAF_CHANNELS,
+            ]
+            for position in range(9):
+                dy, dx = divmod(position, 3)
+                for half in range(2):
+                    stream_index = position * 2 + half
+                    piece = block[half * _HALF : (half + 1) * _HALF, :, dy, dx]
+                    streams[stream_index].extend(int(v) for v in piece.ravel())
+
+    if params.weights1x1 is not None:
+        w1 = _pad_channels(_pad_channels(params.weights1x1, 0, LEAF_CHANNELS), 1, LEAF_CHANNELS)
+        out_ch1, in_ch1 = w1.shape
+        for leaf in range(out_ch1 // LEAF_CHANNELS):
+            for group in range(in_ch1 // LEAF_CHANNELS):
+                block = w1[
+                    leaf * LEAF_CHANNELS : (leaf + 1) * LEAF_CHANNELS,
+                    group * LEAF_CHANNELS : (group + 1) * LEAF_CHANNELS,
+                ]
+                for half in range(2):
+                    stream_index = NUM_WEIGHT_STREAMS_3X3 + half
+                    piece = block[half * _HALF : (half + 1) * _HALF, :]
+                    streams[stream_index].extend(int(v) for v in piece.ravel())
+
+    streams[NUM_STREAMS - 1].extend(int(v) for v in np.asarray(params.biases).ravel())
+    return streams
+
+
+@dataclass
+class RestartSegment:
+    """One restart segment: the 21 encoded streams for one instruction."""
+
+    instruction_index: int
+    encoded: List[EncodedStream]
+    raw_bits: int
+
+    @property
+    def padded_bits_per_stream(self) -> int:
+        """Every stream is padded to the longest one (byte-aligned)."""
+        longest = max(stream.total_bits for stream in self.encoded)
+        return ((longest + 7) // 8) * 8
+
+    @property
+    def segment_bits(self) -> int:
+        return self.padded_bits_per_stream * NUM_STREAMS
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bits / self.segment_bits if self.segment_bits else 0.0
+
+
+@dataclass
+class ParameterBitstreams:
+    """All restart segments of one model's parameters."""
+
+    model_name: str
+    segments: List[RestartSegment] = field(default_factory=list)
+
+    @property
+    def total_raw_bits(self) -> int:
+        return sum(segment.raw_bits for segment in self.segments)
+
+    @property
+    def total_encoded_bits(self) -> int:
+        return sum(segment.segment_bits for segment in self.segments)
+
+    @property
+    def total_encoded_bytes(self) -> int:
+        return (self.total_encoded_bits + 7) // 8
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.total_encoded_bits == 0:
+            return 0.0
+        return self.total_raw_bits / self.total_encoded_bits
+
+    def restart_addresses(self) -> List[int]:
+        """Byte-aligned restart address (bias-stream offset) of each segment."""
+        addresses: List[int] = []
+        offset = 0
+        for segment in self.segments:
+            addresses.append(offset)
+            offset += segment.padded_bits_per_stream // 8
+        return addresses
+
+    def fits_in(self, parameter_memory_bytes: int) -> bool:
+        """Whether the encoded parameters fit the eCNN parameter memory."""
+        return self.total_encoded_bytes <= parameter_memory_bytes
+
+
+def pack_parameters(
+    model_name: str, per_instruction: Sequence[InstructionParameters]
+) -> ParameterBitstreams:
+    """Pack per-instruction parameters into restart-segmented bitstreams."""
+    result = ParameterBitstreams(model_name=model_name)
+    for index, params in enumerate(per_instruction):
+        streams = split_into_streams(params)
+        encoded = [
+            encode_values(stream) if stream else encode_values([0])
+            for stream in streams
+        ]
+        # The raw footprint is what the parameter memory would hold without
+        # entropy coding: every stream value (including the zero-padded
+        # channel groups the hardware always stores) at 8 bits.
+        raw_bits = sum(len(stream) for stream in streams) * 8
+        result.segments.append(
+            RestartSegment(instruction_index=index, encoded=encoded, raw_bits=raw_bits)
+        )
+    if not result.segments:
+        raise ValueError("no instruction parameters to pack")
+    return result
+
+
+def weight_entropy(per_instruction: Sequence[InstructionParameters]) -> float:
+    """Shannon entropy (bits/weight) of all weight coefficients together."""
+    values: List[int] = []
+    for params in per_instruction:
+        values.extend(int(v) for v in params.weights3x3.ravel())
+        if params.weights1x1 is not None:
+            values.extend(int(v) for v in params.weights1x1.ravel())
+    return entropy_bits_per_symbol(values)

@@ -1,0 +1,142 @@
+"""FBISA programs: ordered instruction lists with validation.
+
+A program describes the per-block computation of one (sub-)model.  The
+program for one model is loaded into eCNN once and replayed for every block
+of every frame (Fig. 12), so programs are small — the paper's highest-quality
+SR4ERNet needs only 45 lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.fbisa.isa import BlockBufferId, Instruction, Opcode
+
+
+class ProgramValidationError(ValueError):
+    """Raised when a program violates FBISA structural rules."""
+
+
+@dataclass
+class Program:
+    """An ordered list of FBISA instructions plus model metadata."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    submodel: int = 0
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def num_lines(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def total_macs(self) -> int:
+        """MACs executed per block by the whole program."""
+        return sum(instruction.macs for instruction in self.instructions)
+
+    @property
+    def total_weights(self) -> int:
+        """Weight coefficients referenced by instructions carrying parameters."""
+        return sum(
+            instruction.weights_per_instruction
+            for instruction in self.instructions
+            if instruction.params is not None
+        )
+
+    @property
+    def total_biases(self) -> int:
+        return sum(
+            instruction.biases_per_instruction
+            for instruction in self.instructions
+            if instruction.params is not None
+        )
+
+    def buffers_used(self) -> set[BlockBufferId]:
+        used: set[BlockBufferId] = set()
+        for instruction in self.instructions:
+            used.add(instruction.src.buffer)
+            used.add(instruction.dst.buffer)
+            if instruction.src_s is not None:
+                used.add(instruction.src_s.buffer)
+            if instruction.dst_s is not None:
+                used.add(instruction.dst_s.buffer)
+        return used
+
+    def validate(self) -> None:
+        """Check FBISA structural rules; raise :class:`ProgramValidationError`.
+
+        Rules checked:
+
+        * the program is non-empty, reads from ``DI`` and writes to ``DO``;
+        * no instruction writes its destination into its own source buffer
+          (block buffers are single-ported per direction within one
+          instruction);
+        * ``DI`` is never used as a destination and ``DO`` never as a source;
+        * every physical buffer read by an instruction has been written by an
+          earlier instruction or is ``DI``.
+        """
+        if not self.instructions:
+            raise ProgramValidationError(f"program {self.name!r} is empty")
+        written: set[BlockBufferId] = set()
+        reads_di = False
+        writes_do = False
+        for index, instruction in enumerate(self.instructions):
+            sources = [instruction.src] + (
+                [instruction.src_s] if instruction.src_s is not None else []
+            )
+            destinations = [instruction.dst] + (
+                [instruction.dst_s] if instruction.dst_s is not None else []
+            )
+            for operand in sources:
+                if operand.buffer is BlockBufferId.DO:
+                    raise ProgramValidationError(
+                        f"line {index}: DO cannot be used as a source"
+                    )
+                if operand.buffer is BlockBufferId.DI:
+                    reads_di = True
+                elif operand.buffer not in written:
+                    raise ProgramValidationError(
+                        f"line {index}: reads {operand.buffer.value} before any write"
+                    )
+            for operand in destinations:
+                if operand.buffer is BlockBufferId.DI:
+                    raise ProgramValidationError(
+                        f"line {index}: DI cannot be used as a destination"
+                    )
+                if operand.buffer is BlockBufferId.DO:
+                    writes_do = True
+            if instruction.dst.buffer == instruction.src.buffer and not instruction.dst.buffer.is_virtual:
+                raise ProgramValidationError(
+                    f"line {index}: source and destination use the same block buffer "
+                    f"{instruction.src.buffer.value}"
+                )
+            for operand in destinations:
+                if not operand.buffer.is_virtual:
+                    written.add(operand.buffer)
+        if not reads_di:
+            raise ProgramValidationError(f"program {self.name!r} never reads DI")
+        if not writes_do:
+            raise ProgramValidationError(f"program {self.name!r} never writes DO")
+
+    def listing(self) -> str:
+        """Numbered textual listing of the program (Fig. 18 style)."""
+        lines = [f"; program {self.name} ({self.num_lines} lines)"]
+        for index, instruction in enumerate(self.instructions):
+            lines.append(f"{index:3d}: {instruction.summary()}")
+        return "\n".join(lines)
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        histogram: dict[Opcode, int] = {}
+        for instruction in self.instructions:
+            histogram[instruction.opcode] = histogram.get(instruction.opcode, 0) + 1
+        return histogram

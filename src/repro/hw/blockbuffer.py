@@ -1,0 +1,142 @@
+"""Eight-bank block buffer model (Section 6.3.3, Fig. 17).
+
+Features are stored as 4x2 tiles, but accesses are not always tile aligned:
+the input-preparation stage assembles 6x4 windows that straddle tile
+boundaries, and the pixel-shuffle upsampler writes its outputs across several
+tile rows in one burst.  Each block buffer is therefore built from eight
+sub-buffer banks; a *normal* tile-to-bank mapping keeps all ordinary
+(aligned and misaligned) accesses conflict-free, and an *interleaved*
+(skewed) mapping is selected for pixel-shuffle writes, whose column-burst
+pattern would collide under the normal mapping.
+
+The concrete bank functions below are this reproduction's realisation of
+that scheme (the paper describes the mechanism but not the exact hash); the
+tests assert the documented conflict properties.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+NUM_BANKS = 8
+
+
+class BankMapping(enum.Enum):
+    """Tile-to-bank mapping mode."""
+
+    NORMAL = "normal"
+    INTERLEAVED = "interleaved"
+
+
+def bank_of(tile_x: int, tile_y: int, mapping: BankMapping) -> int:
+    """Bank index of the 4x2 tile at tile coordinates ``(tile_x, tile_y)``."""
+    if tile_x < 0 or tile_y < 0:
+        raise ValueError("tile coordinates must be non-negative")
+    if mapping is BankMapping.NORMAL:
+        return (tile_x + 4 * tile_y) % NUM_BANKS
+    # Interleaved mapping: skew every second pair of tile rows by one bank so
+    # column bursts (pixel-shuffle writes) spread over distinct banks.
+    return (tile_x + 4 * tile_y + (tile_y // 2)) % NUM_BANKS
+
+
+def misaligned_read_tiles(tile_x: int, tile_y: int) -> List[Tuple[int, int]]:
+    """Tiles touched when assembling a 6x4 window anchored inside tile (x, y)."""
+    return [
+        (tile_x, tile_y),
+        (tile_x + 1, tile_y),
+        (tile_x, tile_y + 1),
+        (tile_x + 1, tile_y + 1),
+    ]
+
+
+def pixel_shuffle_write_tiles(tile_x: int, tile_y_base: int) -> List[Tuple[int, int]]:
+    """Tiles written by one pixel-shuffle burst: a column of four tile rows."""
+    return [(tile_x, tile_y_base + dy) for dy in range(4)]
+
+
+def has_conflict(tiles: Sequence[Tuple[int, int]], mapping: BankMapping) -> bool:
+    """Whether any two tiles of a same-cycle access set share a bank."""
+    banks = [bank_of(tx, ty, mapping) for tx, ty in tiles]
+    return len(set(banks)) != len(banks)
+
+
+@dataclass
+class BlockBuffer:
+    """A functional eight-bank block buffer holding one feature block.
+
+    The buffer stores an 8-bit (or configurable precision) feature block of
+    up to ``capacity_bytes``.  Tiles are written and read through the bank
+    mapping; the buffer records per-bank access counts so tests can verify
+    conflict-freedom and the power model can estimate SRAM activity.
+    """
+
+    capacity_bytes: int = 512 * 1024
+    channels: int = 32
+    tile_width: int = 4
+    tile_height: int = 2
+    mapping: BankMapping = BankMapping.NORMAL
+    _data: Dict[Tuple[int, int], np.ndarray] = field(default_factory=dict)
+    bank_accesses: List[int] = field(default_factory=lambda: [0] * NUM_BANKS)
+
+    def fits(self, block_height: int, block_width: int, bits_per_value: int = 8) -> bool:
+        """Whether a (channels, H, W) block fits the buffer capacity."""
+        needed = self.channels * block_height * block_width * bits_per_value // 8
+        return needed <= self.capacity_bytes
+
+    def write_tile(self, tile_x: int, tile_y: int, values: np.ndarray) -> None:
+        """Write one 4x2 tile (shape (channels, 2, 4))."""
+        expected = (self.channels, self.tile_height, self.tile_width)
+        if values.shape != expected:
+            raise ValueError(f"tile must have shape {expected}, got {values.shape}")
+        self.bank_accesses[bank_of(tile_x, tile_y, self.mapping)] += 1
+        self._data[(tile_x, tile_y)] = np.array(values, copy=True)
+
+    def read_tile(self, tile_x: int, tile_y: int) -> np.ndarray:
+        """Read one previously written tile."""
+        key = (tile_x, tile_y)
+        if key not in self._data:
+            raise KeyError(f"tile {key} has not been written")
+        self.bank_accesses[bank_of(tile_x, tile_y, self.mapping)] += 1
+        return np.array(self._data[key], copy=True)
+
+    def store_block(self, block: np.ndarray) -> None:
+        """Store a whole (channels, H, W) feature block tile by tile."""
+        channels, height, width = block.shape
+        if channels != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {channels}")
+        if height % self.tile_height or width % self.tile_width:
+            raise ValueError(
+                f"block {height}x{width} is not a multiple of the "
+                f"{self.tile_height}x{self.tile_width} tile"
+            )
+        if not self.fits(height, width):
+            raise ValueError("block does not fit in the block buffer")
+        self._data.clear()
+        for tile_y in range(height // self.tile_height):
+            for tile_x in range(width // self.tile_width):
+                tile = block[
+                    :,
+                    tile_y * self.tile_height : (tile_y + 1) * self.tile_height,
+                    tile_x * self.tile_width : (tile_x + 1) * self.tile_width,
+                ]
+                self.write_tile(tile_x, tile_y, tile)
+
+    def load_block(self, height: int, width: int) -> np.ndarray:
+        """Reassemble a stored block of the given spatial size."""
+        block = np.zeros((self.channels, height, width), dtype=np.float64)
+        for tile_y in range(height // self.tile_height):
+            for tile_x in range(width // self.tile_width):
+                block[
+                    :,
+                    tile_y * self.tile_height : (tile_y + 1) * self.tile_height,
+                    tile_x * self.tile_width : (tile_x + 1) * self.tile_width,
+                ] = self.read_tile(tile_x, tile_y)
+        return block
+
+    def conflict_free(self, tiles: Iterable[Tuple[int, int]]) -> bool:
+        """Whether a same-cycle access to ``tiles`` avoids bank conflicts."""
+        return not has_conflict(list(tiles), self.mapping)

@@ -1,0 +1,65 @@
+"""CNN inference unit (CIU) timing model (Section 6.3).
+
+The CIU computes one 32-channel leaf-module for one 4x2 tile per cycle: the
+LCONV3x3 engine evaluates 32x32 2D filters over the 8 pixels of the tile
+(73,728 MACs/cycle) while the LCONV1x1 engine performs the ERModule reduction
+(8,192 MACs/cycle).  Consecutive leaf-modules of the same instruction are
+computed back to back so partial sums accumulate in local registers without
+touching SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.fbisa.isa import Instruction, Opcode
+from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
+
+
+def ciu_cycles(instruction: Instruction, config: EcnnConfig = DEFAULT_CONFIG) -> int:
+    """Cycles the CIU spends on one instruction.
+
+    One cycle per (4x2 tile, leaf-module, input group); the 1x1 stage of ER
+    instructions runs in the LCONV1x1 engine in parallel and adds no cycles.
+    """
+    del config  # the tile/leaf structure is configuration-independent
+    return instruction.num_tiles * instruction.leaf_modules * instruction.input_groups
+
+
+@dataclass(frozen=True)
+class EngineActivity:
+    """Fraction of busy cycles in which each engine performs useful work."""
+
+    lconv3x3: float
+    lconv1x1: float
+
+    def weighted(self, weight3x3: float, weight1x1: float) -> float:
+        """Activity-weighted combination (used by the power model)."""
+        return self.lconv3x3 * weight3x3 + self.lconv1x1 * weight1x1
+
+
+def engine_activity(
+    instructions: Iterable[Instruction], config: EcnnConfig = DEFAULT_CONFIG
+) -> EngineActivity:
+    """Average useful-work activity of the two engines over a program.
+
+    The LCONV3x3 engine is active on every CIU cycle of every instruction;
+    the LCONV1x1 engine only on ER instructions.  Cycles are weighted by the
+    per-instruction CIU occupancy.
+    """
+    total = 0
+    er_cycles = 0
+    for instruction in instructions:
+        cycles = ciu_cycles(instruction, config)
+        total += cycles
+        if instruction.opcode is Opcode.ER:
+            er_cycles += cycles
+    if total == 0:
+        return EngineActivity(lconv3x3=0.0, lconv1x1=0.0)
+    return EngineActivity(lconv3x3=1.0, lconv1x1=er_cycles / total)
+
+
+def macs_per_instruction(instruction: Instruction) -> int:
+    """MACs an instruction performs (delegates to the ISA-level accounting)."""
+    return instruction.macs

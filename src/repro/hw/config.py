@@ -1,0 +1,91 @@
+"""eCNN hardware configuration (Table 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EcnnConfig:
+    """The eCNN processor configuration.
+
+    Default values reproduce Table 2: TSMC 40 nm, 250 MHz, 81,920 multipliers
+    (73,728 in the LCONV3x3 engine and 8,192 in LCONV1x1), three 512 KB block
+    buffers and a 1,288 KB parameter memory.
+    """
+
+    technology: str = "TSMC 40nm"
+    clock_hz: float = 250e6
+    voltage_v: float = 0.9
+
+    leaf_channels: int = 32
+    tile_width: int = 4
+    tile_height: int = 2
+
+    #: Multipliers in the two convolution engines.
+    lconv3x3_multipliers: int = 32 * 32 * 9 * 8
+    lconv1x1_multipliers: int = 32 * 32 * 8
+
+    #: On-chip memories.
+    num_block_buffers: int = 3
+    block_buffer_kb: int = 512
+    parameter_memory_kb: int = 1288
+
+    #: Default block geometry used by the model-scanning procedure.
+    default_input_block: int = 128
+
+    #: IDU decode throughput: cycles to decode one leaf-module's parameters.
+    idu_cycles_per_leaf: int = 256
+    #: Number of parallel parameter bitstream decoders (20 weights + 1 bias).
+    num_parameter_decoders: int = 21
+
+    @property
+    def total_multipliers(self) -> int:
+        return self.lconv3x3_multipliers + self.lconv1x1_multipliers
+
+    @property
+    def pixels_per_cycle(self) -> int:
+        """Pixels of one 4x2 tile processed per cycle."""
+        return self.tile_width * self.tile_height
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak performance in TOPS (2 operations per multiplier per cycle)."""
+        return self.total_multipliers * 2.0 * self.clock_hz / 1e12
+
+    @property
+    def lconv3x3_macs_per_cycle(self) -> int:
+        return self.lconv3x3_multipliers
+
+    @property
+    def lconv1x1_macs_per_cycle(self) -> int:
+        return self.lconv1x1_multipliers
+
+    @property
+    def total_block_buffer_bytes(self) -> int:
+        return self.num_block_buffers * self.block_buffer_kb * 1024
+
+    @property
+    def parameter_memory_bytes(self) -> int:
+        return self.parameter_memory_kb * 1024
+
+    @property
+    def max_block_pixels(self) -> int:
+        """Largest square block side one block buffer can hold at 8-bit, 32ch."""
+        values = self.block_buffer_kb * 1024
+        side = int((values / self.leaf_channels) ** 0.5)
+        return side
+
+    def with_parameter_memory(self, kilobytes: int) -> "EcnnConfig":
+        """A configuration with a different parameter memory size.
+
+        The object-recognition case study (Section 7.3) triples the parameter
+        memory; this helper builds that variant.
+        """
+        from dataclasses import replace
+
+        return replace(self, parameter_memory_kb=kilobytes)
+
+
+#: The configuration used throughout the paper's evaluation.
+DEFAULT_CONFIG = EcnnConfig()

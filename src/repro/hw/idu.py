@@ -1,0 +1,35 @@
+"""Information decode unit (IDU) timing model (Section 6.2).
+
+The IDU decodes instructions and decompresses their parameters through 21
+parallel Huffman decoders while the CIU is still computing the *previous*
+instruction (the instruction-pipelining scheme of Fig. 13).  The decoded
+weights are pushed into the locally-distributed registers of the convolution
+engines in a ping-pong fashion.  In most cases the IDU decodes one
+leaf-module in 256 cycles and finishes before the CIU, so it rarely limits
+throughput — but for very small blocks it can, which is why the cycle model
+takes the maximum of the two units per pipeline stage.
+"""
+
+from __future__ import annotations
+
+from repro.fbisa.isa import Instruction
+from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
+
+
+def idu_cycles(instruction: Instruction, config: EcnnConfig = DEFAULT_CONFIG) -> int:
+    """Cycles the IDU needs to decode one instruction's parameters.
+
+    One leaf-module (512 coefficients per weight stream) takes
+    ``config.idu_cycles_per_leaf`` cycles; an instruction carries
+    ``leaf_modules x input_groups`` leaf-modules' worth of weights.
+    Instructions that reuse previously decoded parameters (no parameter
+    operand) only pay a small fixed instruction-decode cost.
+    """
+    if instruction.params is None:
+        return 4
+    return config.idu_cycles_per_leaf * instruction.leaf_modules * instruction.input_groups
+
+
+def program_decode_cycles(instructions, config: EcnnConfig = DEFAULT_CONFIG) -> int:
+    """Total IDU decode cycles for a sequence of instructions (unpipelined)."""
+    return sum(idu_cycles(instruction, config) for instruction in instructions)

@@ -1,0 +1,183 @@
+"""The eCNN processor executor: functional output + pipelined cycle counts.
+
+The processor runs FBISA programs produced by :func:`repro.fbisa.compiler.
+compile_network`.  Functionally, executing a block reproduces the network's
+output bit for bit (the compiler's semantics are the network's own layers).
+For timing, the executor applies the instruction-pipelining scheme of
+Fig. 13: while the CIU computes instruction *i*, the IDU decodes the
+parameters of instruction *i+1*, so each pipeline stage costs
+``max(CIU_i, IDU_{i+1})`` cycles, plus the initial decode of the first
+instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.blockflow import (
+    BlockGrid,
+    _crop_to_block,
+    partition_image,
+    total_input_margin,
+)
+from repro.fbisa.compiler import CompiledModel
+from repro.fbisa.isa import Instruction
+from repro.hw.ciu import ciu_cycles
+from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
+from repro.hw.idu import idu_cycles
+from repro.nn.tensor import FeatureMap
+
+
+@dataclass(frozen=True)
+class BlockExecutionReport:
+    """Cycle accounting for one block of one program."""
+
+    ciu_cycles_per_instruction: tuple[int, ...]
+    idu_cycles_per_instruction: tuple[int, ...]
+
+    @property
+    def ciu_total(self) -> int:
+        return sum(self.ciu_cycles_per_instruction)
+
+    @property
+    def idu_total(self) -> int:
+        return sum(self.idu_cycles_per_instruction)
+
+    @property
+    def pipelined_cycles(self) -> int:
+        """Block latency under the IDU/CIU instruction pipeline."""
+        ciu = self.ciu_cycles_per_instruction
+        idu = self.idu_cycles_per_instruction
+        if not ciu:
+            return 0
+        cycles = idu[0]  # fill the pipeline with the first decode
+        for index in range(len(ciu)):
+            next_idu = idu[index + 1] if index + 1 < len(idu) else 0
+            cycles += max(ciu[index], next_idu)
+        return cycles
+
+    @property
+    def idu_bound_stages(self) -> int:
+        """How many pipeline stages were limited by parameter decoding."""
+        ciu = self.ciu_cycles_per_instruction
+        idu = self.idu_cycles_per_instruction
+        return sum(
+            1
+            for index in range(len(ciu))
+            if index + 1 < len(idu) and idu[index + 1] > ciu[index]
+        )
+
+
+@dataclass
+class ImageExecutionReport:
+    """Result of running a whole image through the processor."""
+
+    output: Optional[FeatureMap]
+    grid: BlockGrid
+    block_report: BlockExecutionReport
+    config: EcnnConfig
+
+    @property
+    def cycles_per_block(self) -> int:
+        return self.block_report.pipelined_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles_per_block * self.grid.num_blocks
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.config.clock_hz
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.seconds if self.seconds > 0 else float("inf")
+
+
+class EcnnProcessor:
+    """Execute compiled FBISA models functionally and count cycles."""
+
+    def __init__(self, config: EcnnConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self._model: Optional[CompiledModel] = None
+
+    #: Best-case compression ratio of the DC Huffman coder (Table 5 reports
+    #: 1.1-1.5x); a model whose raw parameters exceed this over the memory
+    #: cannot be made to fit even with 7-bit groups and compression.
+    _MAX_COMPRESSION = 1.6
+
+    def load(self, model: CompiledModel) -> None:
+        """Load a compiled model (program + parameters), as Fig. 12's one-time step.
+
+        Raises ``ValueError`` only when the parameters cannot possibly fit the
+        parameter memory even after entropy coding; models that fit only with
+        compression (e.g. SR4ERNet for HD30) load fine, matching Table 5.
+        """
+        parameter_bytes = model.program.total_weights + model.program.total_biases
+        limit = self.config.parameter_memory_bytes * self._MAX_COMPRESSION
+        if parameter_bytes > limit:
+            raise ValueError(
+                f"model parameters ({parameter_bytes} bytes uncompressed) exceed the "
+                f"parameter memory ({self.config.parameter_memory_bytes} bytes) even "
+                "after compression; reduce the model or enlarge the memory"
+            )
+        self._model = model
+
+    @property
+    def model(self) -> CompiledModel:
+        if self._model is None:
+            raise RuntimeError("no model loaded; call load() first")
+        return self._model
+
+    def block_report(self) -> BlockExecutionReport:
+        """Cycle accounting for one block of the loaded program."""
+        instructions: List[Instruction] = list(self.model.program)
+        return BlockExecutionReport(
+            ciu_cycles_per_instruction=tuple(
+                ciu_cycles(instruction, self.config) for instruction in instructions
+            ),
+            idu_cycles_per_instruction=tuple(
+                idu_cycles(instruction, self.config) for instruction in instructions
+            ),
+        )
+
+    def execute_block(self, block: FeatureMap) -> FeatureMap:
+        """Functionally execute one input block through the loaded program."""
+        return self.model.execute_block(block)
+
+    def run_image(self, image: FeatureMap, network, output_block: int) -> ImageExecutionReport:
+        """Run a full image block by block, stitching the outputs.
+
+        ``network`` is the source network of the compiled model (used for the
+        block-partition geometry).  For large frames where only timing is
+        needed, use :func:`repro.hw.performance.evaluate_performance` instead.
+        """
+        grid = partition_image(image.height, image.width, network, output_block)
+        margin = total_input_margin(network.layers)
+        padded = np.pad(image.data, ((0, 0), (margin, margin), (margin, margin)))
+        output: Optional[np.ndarray] = None
+        for spec in grid.blocks:
+            r0 = spec.in_row + margin
+            c0 = spec.in_col + margin
+            window = padded[:, r0 : r0 + spec.in_height, c0 : c0 + spec.in_width]
+            result = self.execute_block(image.with_data(window.copy()))
+            result = _crop_to_block(result, spec, network.layers)
+            if output is None:
+                output = np.zeros(
+                    (result.channels, grid.output_height, grid.output_width),
+                    dtype=result.data.dtype,
+                )
+            output[
+                :,
+                spec.out_row : spec.out_row + spec.out_height,
+                spec.out_col : spec.out_col + spec.out_width,
+            ] = result.data
+        return ImageExecutionReport(
+            output=FeatureMap(data=output) if output is not None else None,
+            grid=grid,
+            block_report=self.block_report(),
+            config=self.config,
+        )

@@ -1,0 +1,108 @@
+"""The ERNet model family, baseline networks and model-selection machinery.
+
+Contents
+--------
+* :mod:`repro.models.ermodule` — the ERModule building block (expand 3x3,
+  reduce 1x1, residual) and chained ER blocks with the ``B`` / ``R`` / ``N``
+  hyper-parameters of Section 4.1.
+* :mod:`repro.models.ernet` — SR4ERNet / SR2ERNet / DnERNet / DnERNet-12ch
+  builders (Fig. 7 and Appendix A).
+* :mod:`repro.models.baselines` — VDSR, SRResNet, EDSR-baseline, FFDNet and
+  the plain network of Fig. 4, used by the motivation and comparison studies.
+* :mod:`repro.models.complexity` — KOP/pixel and parameter accounting.
+* :mod:`repro.models.scanning` — the hardware-constrained model-scanning
+  procedure of Fig. 8.
+* :mod:`repro.models.quality` — the calibrated PSNR quality model standing in
+  for full training (see DESIGN.md substitutions).
+* :mod:`repro.models.sparsity` — pruning / depth-wise degradation model
+  behind Fig. 2.
+* :mod:`repro.models.vision` — FBISA-compatible style-transfer and object
+  recognition models of Section 7.3.
+* :mod:`repro.models.training` — the training-stage hyper-parameters of
+  Table 3 (documented constants).
+"""
+
+from repro.models.ermodule import ERModule, er_chain, expansion_ratios
+from repro.models.ernet import (
+    ERNetSpec,
+    build_dnernet,
+    build_dnernet_12ch,
+    build_ernet,
+    build_sr2ernet,
+    build_sr4ernet,
+)
+from repro.models.baselines import (
+    BaselineSpec,
+    build_edsr_baseline,
+    build_plain_network,
+    build_srresnet,
+    build_vdsr,
+    BASELINE_SPECS,
+)
+from repro.models.complexity import (
+    ComplexityReport,
+    kop_per_pixel,
+    model_complexity,
+    parameter_count,
+)
+from repro.models.scanning import (
+    CandidateModel,
+    ScanResult,
+    largest_expansion_ratio,
+    scan_models,
+)
+from repro.models.quality import (
+    QualityModel,
+    REFERENCE_PSNR,
+    predicted_psnr,
+)
+from repro.models.sparsity import (
+    depthwise_savings,
+    depthwise_quality_drop,
+    pruning_quality_drop,
+)
+from repro.models.training import TRAINING_SETTINGS, TrainingStage
+from repro.models.vision import (
+    build_recognition_network,
+    build_style_transfer_network,
+    RECOGNITION_SUMMARY,
+    STYLE_TRANSFER_SUMMARY,
+)
+
+__all__ = [
+    "BASELINE_SPECS",
+    "BaselineSpec",
+    "CandidateModel",
+    "ComplexityReport",
+    "ERModule",
+    "ERNetSpec",
+    "QualityModel",
+    "REFERENCE_PSNR",
+    "RECOGNITION_SUMMARY",
+    "STYLE_TRANSFER_SUMMARY",
+    "ScanResult",
+    "TRAINING_SETTINGS",
+    "TrainingStage",
+    "build_dnernet",
+    "build_dnernet_12ch",
+    "build_edsr_baseline",
+    "build_ernet",
+    "build_plain_network",
+    "build_recognition_network",
+    "build_sr2ernet",
+    "build_sr4ernet",
+    "build_srresnet",
+    "build_style_transfer_network",
+    "build_vdsr",
+    "depthwise_quality_drop",
+    "depthwise_savings",
+    "er_chain",
+    "expansion_ratios",
+    "kop_per_pixel",
+    "largest_expansion_ratio",
+    "model_complexity",
+    "parameter_count",
+    "predicted_psnr",
+    "pruning_quality_drop",
+    "scan_models",
+]

@@ -1,0 +1,185 @@
+"""Baseline / comparison network models.
+
+These are the networks the paper measures against or uses for motivation:
+
+* the plain CONV3x3-only network of Fig. 4 (for the NBR/NCR analysis),
+* VDSR (20 layers, 64 channels) — the main SR comparison point,
+* SRResNet / EDSR-baseline (residual blocks, 64 channels) — the
+  state-of-the-art SR quality reference,
+* FFDNet and CBM3D — denoising references (CBM3D is not a CNN; it only
+  appears as a quality anchor in :mod:`repro.models.quality`).
+
+Builders return runnable :class:`~repro.nn.network.Network` objects with
+deterministic weights; :data:`BASELINE_SPECS` additionally records the
+published layer/channel/parameter figures used by the analytical studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.nn.layers import Conv2d, ReLU, Residual
+from repro.nn.network import Network
+from repro.nn.ops import PixelShuffle
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """Published structural facts about a baseline network."""
+
+    name: str
+    depth: int
+    channels: int
+    parameters: int
+    task: str
+    kop_per_pixel: float
+    description: str
+
+
+#: Published baseline figures used by the analytical comparisons.  Parameter
+#: counts for VDSR and SRResNet are quoted in Section 5.2 of the paper;
+#: KOP/pixel figures follow from depth x channels (VDSR: 83 TOPS at Full HD
+#: 30 fps == ~1330 KOP per output pixel).
+BASELINE_SPECS: Dict[str, BaselineSpec] = {
+    "VDSR": BaselineSpec(
+        name="VDSR",
+        depth=20,
+        channels=64,
+        parameters=651_000,
+        task="sr",
+        kop_per_pixel=1333.0,
+        description="20-layer 64-channel plain SR network (Kim et al., 2016)",
+    ),
+    "SRResNet": BaselineSpec(
+        name="SRResNet",
+        depth=37,
+        channels=64,
+        parameters=1_479_000,
+        task="sr4",
+        kop_per_pixel=1176.0,
+        description="16 residual blocks, 64 channels (Ledig et al., 2017)",
+    ),
+    "EDSR-baseline": BaselineSpec(
+        name="EDSR-baseline",
+        depth=37,
+        channels=64,
+        parameters=1_370_000,
+        task="sr",
+        kop_per_pixel=1176.0,
+        description="EDSR baseline: 16 residual blocks without BN (Lim et al., 2017)",
+    ),
+    "FFDNet": BaselineSpec(
+        name="FFDNet",
+        depth=12,
+        channels=96,
+        parameters=852_000,
+        task="dn",
+        kop_per_pixel=490.0,
+        description="Fast denoising CNN on pixel-unshuffled inputs (Zhang et al., 2018)",
+    ),
+    "ResNet-18": BaselineSpec(
+        name="ResNet-18",
+        depth=18,
+        channels=512,
+        parameters=11_000_000,
+        task="recognition",
+        kop_per_pixel=0.0,
+        description="ImageNet classification reference (He et al., 2016)",
+    ),
+    "VGG-16": BaselineSpec(
+        name="VGG-16",
+        depth=16,
+        channels=512,
+        parameters=138_000_000,
+        task="recognition",
+        kop_per_pixel=0.0,
+        description="ImageNet classification reference (Simonyan & Zisserman, 2015)",
+    ),
+}
+
+
+def build_plain_network(depth: int, channels: int, *, in_channels: int = 3, seed: int = 0) -> Network:
+    """The plain CONV3x3-only network of Fig. 4 (depth D, width C)."""
+    if depth < 2:
+        raise ValueError("the plain network needs at least 2 layers")
+    layers = [Conv2d(in_channels, channels, 3, seed=seed, name="conv0")]
+    layers.append(ReLU())
+    for index in range(1, depth - 1):
+        layers.append(Conv2d(channels, channels, 3, seed=seed + index, name=f"conv{index}"))
+        layers.append(ReLU())
+    layers.append(Conv2d(channels, in_channels, 3, seed=seed + depth, name=f"conv{depth - 1}"))
+    return Network(
+        layers,
+        f"Plain-D{depth}C{channels}",
+        in_channels=in_channels,
+        out_channels=in_channels,
+        upscale=1,
+        metadata={"depth": depth, "channels": channels},
+    )
+
+
+def build_vdsr(*, channels: int = 64, depth: int = 20, seed: int = 0) -> Network:
+    """VDSR: a 20-layer plain network with a global residual connection.
+
+    VDSR super-resolves a bicubically pre-upsampled image, so the network
+    itself has upscale 1.
+    """
+    body = [Conv2d(3, channels, 3, seed=seed, name="conv0"), ReLU()]
+    for index in range(1, depth - 1):
+        body.append(Conv2d(channels, channels, 3, seed=seed + index, name=f"conv{index}"))
+        body.append(ReLU())
+    body.append(Conv2d(channels, 3, 3, seed=seed + depth, name=f"conv{depth - 1}"))
+    return Network(
+        [Residual(body, name="vdsr_residual")],
+        "VDSR",
+        in_channels=3,
+        out_channels=3,
+        upscale=1,
+        metadata={"depth": depth, "channels": channels},
+    )
+
+
+def _residual_block(channels: int, seed: int, name: str) -> Residual:
+    return Residual(
+        [
+            Conv2d(channels, channels, 3, seed=seed, name=f"{name}.conv0"),
+            ReLU(),
+            Conv2d(channels, channels, 3, seed=seed + 1, name=f"{name}.conv1"),
+        ],
+        name=name,
+    )
+
+
+def build_srresnet(*, blocks: int = 16, channels: int = 64, upscale: int = 4, seed: int = 0) -> Network:
+    """SRResNet / EDSR-baseline style network (without batch normalization)."""
+    if upscale not in (1, 2, 4):
+        raise ValueError("upscale must be 1, 2 or 4")
+    layers = [Conv2d(3, channels, 3, seed=seed, name="head3x3")]
+    body = []
+    for index in range(blocks):
+        body.append(_residual_block(channels, seed + 10 * index + 1, f"res{index}"))
+    body.append(Conv2d(channels, channels, 3, seed=seed + 7, name="tail3x3"))
+    layers.append(Residual(body, name="global_residual"))
+    stages = {1: 0, 2: 1, 4: 2}[upscale]
+    for stage in range(stages):
+        layers.append(
+            Conv2d(channels, channels * 4, 3, seed=seed + 100 + stage, name=f"up{stage}.conv3x3")
+        )
+        layers.append(PixelShuffle(2))
+    layers.append(Conv2d(channels, 3, 3, seed=seed + 200, name="output3x3"))
+    return Network(
+        layers,
+        "SRResNet" if upscale == 4 else f"SRResNet-x{upscale}",
+        in_channels=3,
+        out_channels=3,
+        upscale=upscale,
+        metadata={"blocks": blocks, "channels": channels},
+    )
+
+
+def build_edsr_baseline(*, blocks: int = 16, channels: int = 64, upscale: int = 4, seed: int = 0) -> Network:
+    """EDSR-baseline shares the SRResNet skeleton (no batch normalization)."""
+    network = build_srresnet(blocks=blocks, channels=channels, upscale=upscale, seed=seed)
+    network.metadata["variant"] = "EDSR-baseline"
+    return network

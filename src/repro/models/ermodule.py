@@ -1,0 +1,108 @@
+"""The ERModule and chained ER blocks (Section 4.1, Fig. 6).
+
+An ERModule temporarily expands the model width with a CONV3x3 (by an integer
+ratio ``Rm``), reduces it back with a CONV1x1 and adds a residual connection.
+All the expanded features live inside the module, never in block buffers, so
+complexity can be pumped into the model without growing the block-buffer area
+or the truncated-pyramid depth per unit of quality.
+
+A chain of ``B`` ERModules where the first ``N`` use ratio ``R + 1`` and the
+remaining ``B - N`` use ratio ``R`` realises a fractional overall expansion
+ratio ``RE = R + N/B`` (the paper writes models as ``B{B}R{R}N{N}``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nn.layers import Conv2d, ReLU, Residual
+
+
+class ERModule(Residual):
+    """One ERModule: CONV3x3 expand (xRm) -> ReLU -> CONV1x1 reduce, residual.
+
+    Parameters
+    ----------
+    channels:
+        Block-buffer model width ``C`` (32 for the paper's ERNets).
+    expansion:
+        Integer expansion ratio ``Rm`` (the expanded width is ``Rm * C``).
+    seed:
+        Deterministic weight seed.
+    """
+
+    def __init__(self, channels: int, expansion: int, *, seed: int = 0, name: str = "") -> None:
+        if expansion < 1:
+            raise ValueError("expansion ratio Rm must be a positive integer")
+        if channels < 1:
+            raise ValueError("channels must be positive")
+        expanded = channels * expansion
+        body = [
+            Conv2d(channels, expanded, 3, seed=seed, name=f"{name or 'er'}.expand3x3"),
+            ReLU(),
+            Conv2d(expanded, channels, 1, seed=seed + 1, name=f"{name or 'er'}.reduce1x1"),
+        ]
+        super().__init__(body, name=name or f"ERModule(R{expansion})")
+        self.channels = channels
+        self.expansion = expansion
+
+    @property
+    def macs_per_output_pixel_total(self) -> int:
+        """MACs per output pixel contributed by this module (3x3 + 1x1)."""
+        expanded = self.channels * self.expansion
+        return self.channels * expanded * 9 + expanded * self.channels
+
+
+def expansion_ratios(num_modules: int, base_ratio: int, incremented: int) -> List[int]:
+    """Per-module ``Rm`` list for a ``B{B}R{R}N{N}`` chain.
+
+    The first ``incremented`` modules use ``base_ratio + 1``; the rest use
+    ``base_ratio``.  The overall expansion ratio is ``R + N/B``.
+    """
+    if num_modules < 1:
+        raise ValueError("a chain needs at least one ERModule (B >= 1)")
+    if not 0 <= incremented <= num_modules:
+        raise ValueError("N must satisfy 0 <= N <= B")
+    if base_ratio < 1:
+        raise ValueError("R must be a positive integer")
+    return [base_ratio + 1] * incremented + [base_ratio] * (num_modules - incremented)
+
+
+def overall_expansion_ratio(num_modules: int, base_ratio: int, incremented: int) -> float:
+    """The fractional overall expansion ratio ``RE = R + N/B``."""
+    ratios = expansion_ratios(num_modules, base_ratio, incremented)
+    return sum(ratios) / len(ratios)
+
+
+def er_chain(
+    channels: int,
+    num_modules: int,
+    base_ratio: int,
+    incremented: int = 0,
+    *,
+    seed: int = 0,
+    name_prefix: str = "er",
+) -> List[ERModule]:
+    """Build the list of ERModules for a ``B{B}R{R}N{N}`` chain."""
+    modules: List[ERModule] = []
+    for index, ratio in enumerate(expansion_ratios(num_modules, base_ratio, incremented)):
+        modules.append(
+            ERModule(
+                channels,
+                ratio,
+                seed=seed + 100 * index,
+                name=f"{name_prefix}{index}",
+            )
+        )
+    return modules
+
+
+def chain_depth_margin(num_modules: int) -> int:
+    """Input-resolution margin (pixels per side) a chain of B ERModules consumes.
+
+    Each ERModule contains exactly one 3x3 convolution, so the margin equals
+    the module count.
+    """
+    if num_modules < 0:
+        raise ValueError("num_modules must be non-negative")
+    return num_modules

@@ -1,0 +1,194 @@
+"""ERNet model builders (Fig. 7, Section 7.1 and Appendix A).
+
+The ERNet family shares a common skeleton derived from SRResNet /
+EDSR-baseline with the residual blocks replaced by ERModules and the model
+width reduced from 64 to 32 channels:
+
+* a head CONV3x3 lifting the image into the 32-channel feature space,
+* a chain of ``B`` ERModules wrapped in a global residual connection,
+* a tail CONV3x3 closing the residual branch,
+* zero, one or two pixel-shuffle upsamplers (DnERNet / SR2ERNet / SR4ERNet),
+* an output CONV3x3 back to image channels.
+
+``DnERNet-12ch`` (Appendix A) additionally packs 2x2 RGB pixels into
+12-channel inputs with a pixel unshuffle and restores them with a pixel
+shuffle at the output, following FFDNet's downsampling strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.models.ermodule import er_chain, overall_expansion_ratio
+from repro.nn.layers import Conv2d, Residual
+from repro.nn.network import Network
+from repro.nn.ops import PixelShuffle, PixelUnshuffle
+
+#: Nominal ERNet model width (block-buffer channel count).
+ERNET_CHANNELS = 32
+
+
+@dataclass(frozen=True)
+class ERNetSpec:
+    """Hyper-parameters identifying one ERNet instance.
+
+    ``task`` is one of ``"sr4"``, ``"sr2"``, ``"dn"``, ``"dn12"``;
+    ``num_modules`` / ``base_ratio`` / ``incremented`` are the paper's
+    ``B`` / ``R`` / ``N``.
+    """
+
+    task: str
+    num_modules: int
+    base_ratio: int
+    incremented: int = 0
+    channels: int = ERNET_CHANNELS
+
+    def __post_init__(self) -> None:
+        if self.task not in ("sr4", "sr2", "dn", "dn12"):
+            raise ValueError(f"unknown ERNet task {self.task!r}")
+        if not 0 <= self.incremented <= self.num_modules:
+            raise ValueError("N must satisfy 0 <= N <= B")
+
+    @property
+    def name(self) -> str:
+        prefix = {
+            "sr4": "SR4ERNet",
+            "sr2": "SR2ERNet",
+            "dn": "DnERNet",
+            "dn12": "DnERNet-12ch",
+        }[self.task]
+        return f"{prefix}-B{self.num_modules}R{self.base_ratio}N{self.incremented}"
+
+    @property
+    def expansion_ratio(self) -> float:
+        """Overall expansion ratio ``RE = R + N/B``."""
+        return overall_expansion_ratio(self.num_modules, self.base_ratio, self.incremented)
+
+    @property
+    def upscale(self) -> int:
+        return {"sr4": 4, "sr2": 2, "dn": 1, "dn12": 1}[self.task]
+
+    @property
+    def num_upsamplers(self) -> int:
+        return {"sr4": 2, "sr2": 1, "dn": 0, "dn12": 0}[self.task]
+
+
+def build_ernet(spec: ERNetSpec, *, seed: int = 0) -> Network:
+    """Build the :class:`~repro.nn.network.Network` for an :class:`ERNetSpec`."""
+    channels = spec.channels
+    layers = []
+
+    in_channels = 3
+    if spec.task == "dn12":
+        layers.append(PixelUnshuffle(2))
+        in_channels = 12
+
+    layers.append(Conv2d(in_channels, channels, 3, seed=seed, name="head3x3"))
+
+    body = er_chain(
+        channels,
+        spec.num_modules,
+        spec.base_ratio,
+        spec.incremented,
+        seed=seed + 1000,
+        name_prefix="er",
+    )
+    body.append(Conv2d(channels, channels, 3, seed=seed + 7, name="tail3x3"))
+    layers.append(Residual(body, name="global_residual"))
+
+    for stage in range(spec.num_upsamplers):
+        layers.append(
+            Conv2d(
+                channels,
+                channels * 4,
+                3,
+                seed=seed + 11 + stage,
+                name=f"upsample{stage}.conv3x3",
+            )
+        )
+        layers.append(PixelShuffle(2))
+
+    out_channels = 12 if spec.task == "dn12" else 3
+    layers.append(Conv2d(channels, out_channels, 3, seed=seed + 29, name="output3x3"))
+    if spec.task == "dn12":
+        layers.append(PixelShuffle(2))
+
+    return Network(
+        layers,
+        spec.name,
+        in_channels=3,
+        out_channels=3,
+        upscale=spec.upscale,
+        metadata={
+            "task": spec.task,
+            "B": spec.num_modules,
+            "R": spec.base_ratio,
+            "N": spec.incremented,
+            "channels": channels,
+            "expansion_ratio": spec.expansion_ratio,
+            # Input block the 512 KB block buffers support: 128 pixels at the
+            # 32-channel processing resolution.  DnERNet-12ch processes at
+            # quarter resolution, so its full-resolution input block is 256.
+            "input_block": 256 if spec.task == "dn12" else 128,
+        },
+    )
+
+
+def build_sr4ernet(num_modules: int, base_ratio: int, incremented: int = 0, *, seed: int = 0) -> Network:
+    """Four-times super-resolution ERNet (Fig. 7)."""
+    return build_ernet(ERNetSpec("sr4", num_modules, base_ratio, incremented), seed=seed)
+
+
+def build_sr2ernet(num_modules: int, base_ratio: int, incremented: int = 0, *, seed: int = 0) -> Network:
+    """Two-times super-resolution ERNet (one upsampler removed)."""
+    return build_ernet(ERNetSpec("sr2", num_modules, base_ratio, incremented), seed=seed)
+
+
+def build_dnernet(num_modules: int, base_ratio: int, incremented: int = 0, *, seed: int = 0) -> Network:
+    """Denoising ERNet (both upsamplers removed)."""
+    return build_ernet(ERNetSpec("dn", num_modules, base_ratio, incremented), seed=seed)
+
+
+def build_dnernet_12ch(num_modules: int, base_ratio: int, incremented: int = 0, *, seed: int = 0) -> Network:
+    """Denoising ERNet with 12-channel pixel-unshuffled input (Appendix A)."""
+    return build_ernet(ERNetSpec("dn12", num_modules, base_ratio, incremented), seed=seed)
+
+
+#: The per-specification models named in (or inferred from) the paper.
+#: UHD30 / HD60 / HD30 are the three real-time targets of Table 2.  Models the
+#: paper does not name explicitly (marked in EXPERIMENTS.md) are chosen by the
+#: same scanning procedure the paper uses.
+PAPER_MODELS: Dict[str, Dict[str, ERNetSpec]] = {
+    "sr4": {
+        "UHD30": ERNetSpec("sr4", 17, 3, 1),
+        "HD60": ERNetSpec("sr4", 26, 4, 0),
+        "HD30": ERNetSpec("sr4", 34, 4, 0),
+    },
+    "sr2": {
+        "UHD30": ERNetSpec("sr2", 11, 1, 8),
+        "HD60": ERNetSpec("sr2", 14, 2, 12),
+        "HD30": ERNetSpec("sr2", 20, 3, 10),
+    },
+    "dn": {
+        "UHD30": ERNetSpec("dn", 3, 1, 0),
+        "HD60": ERNetSpec("dn", 8, 1, 3),
+        "HD30": ERNetSpec("dn", 16, 1, 0),
+    },
+    "dn12": {
+        "UHD30": ERNetSpec("dn12", 8, 2, 5),
+        "HD60": ERNetSpec("dn12", 13, 3, 0),
+        "HD30": ERNetSpec("dn12", 19, 3, 15),
+    },
+}
+
+
+def paper_model(task: str, specification: str) -> ERNetSpec:
+    """Look up the paper's model for a task (``sr4``/``sr2``/``dn``/``dn12``)
+    and real-time specification (``UHD30``/``HD60``/``HD30``)."""
+    try:
+        return PAPER_MODELS[task][specification]
+    except KeyError as exc:
+        raise KeyError(
+            f"no paper model registered for task={task!r}, spec={specification!r}"
+        ) from exc

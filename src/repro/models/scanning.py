@@ -1,0 +1,174 @@
+"""Hardware-constrained model scanning (Section 4.2, Fig. 8).
+
+For a computation constraint (KOP per output pixel, i.e. NCR x intrinsic
+complexity) and a block-buffer input size ``x_i``, the procedure:
+
+1. for every module count ``B`` derives the largest feasible overall
+   expansion ratio ``RE = R + N/B`` (capped at the system bound ``RE <= 4``),
+2. evaluates every candidate's image quality (the paper trains each with a
+   lightweight setting; this reproduction uses the calibrated quality model),
+3. picks the best model per constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.overheads import general_ncr
+from repro.models.complexity import kop_per_pixel, model_complexity
+from repro.models.ermodule import overall_expansion_ratio
+from repro.models.ernet import ERNetSpec, build_ernet
+from repro.models.quality import QualityModel, default_quality_model
+from repro.nn.layers import Conv2d
+from repro.nn.network import iter_conv_layers
+
+#: System upper bound on the overall expansion ratio (Section 4.2).
+MAX_EXPANSION_RATIO = 4.0
+
+
+@dataclass(frozen=True)
+class CandidateModel:
+    """One scanned candidate and its measured figures."""
+
+    spec: ERNetSpec
+    input_block: int
+    intrinsic_kop_per_pixel: float
+    ncr: float
+    effective_kop_per_pixel: float
+    depth: int
+    predicted_psnr: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def expansion_ratio(self) -> float:
+        return self.spec.expansion_ratio
+
+
+@dataclass
+class ScanResult:
+    """All candidates explored for one constraint, plus the selected best."""
+
+    task: str
+    constraint_kop_per_pixel: float
+    input_block: int
+    candidates: List[CandidateModel]
+
+    @property
+    def best(self) -> CandidateModel:
+        if not self.candidates:
+            raise ValueError("scan produced no feasible candidates")
+        return max(self.candidates, key=lambda c: c.predicted_psnr)
+
+    def candidate_by_modules(self, num_modules: int) -> Optional[CandidateModel]:
+        for candidate in self.candidates:
+            if candidate.spec.num_modules == num_modules:
+                return candidate
+        return None
+
+
+def _depth_3x3(network) -> int:
+    """Number of 3x3 convolution layers (the truncated-pyramid depth driver)."""
+    return sum(
+        1
+        for layer in iter_conv_layers(network)
+        if isinstance(layer, Conv2d) and layer.kernel == 3
+    )
+
+
+def largest_expansion_ratio(
+    task: str,
+    num_modules: int,
+    constraint_kop_per_pixel: float,
+    input_block: int,
+    *,
+    max_ratio: float = MAX_EXPANSION_RATIO,
+    ratio_step_denominator: Optional[int] = None,
+) -> Optional[ERNetSpec]:
+    """Largest feasible ``RE`` for ``B = num_modules`` under the constraint.
+
+    Searches integer base ratios ``R`` and increments ``N`` (finest step
+    ``1/B`` unless ``ratio_step_denominator`` coarsens it) from the cap
+    downward and returns the first spec whose effective complexity
+    (``NCR x intrinsic``) fits the constraint, or ``None`` if even ``RE = 1``
+    does not fit.
+    """
+    if constraint_kop_per_pixel <= 0:
+        raise ValueError("constraint must be positive")
+    denominator = ratio_step_denominator or num_modules
+    # Enumerate candidate RE values from the cap downwards.
+    candidates: List[Tuple[int, int]] = []
+    for base in range(int(max_ratio), 0, -1):
+        for increment in range(num_modules, -1, -1):
+            if base + increment / num_modules > max_ratio + 1e-9:
+                continue
+            if increment % max(1, num_modules // denominator):
+                continue
+            candidates.append((base, increment))
+    candidates.sort(key=lambda rn: -(rn[0] + rn[1] / num_modules))
+
+    for base, increment in candidates:
+        spec = ERNetSpec(task, num_modules, base, increment)
+        network = build_ernet(spec)
+        report = model_complexity(network, input_block)
+        if report.effective_kop_per_pixel <= constraint_kop_per_pixel:
+            return spec
+    return None
+
+
+def scan_models(
+    task: str,
+    constraint_kop_per_pixel: float,
+    *,
+    input_block: int = 128,
+    module_counts: Sequence[int] = tuple(range(2, 41, 2)),
+    quality_model: Optional[QualityModel] = None,
+) -> ScanResult:
+    """Run the Fig. 8 scanning procedure for one task and constraint."""
+    quality = quality_model or default_quality_model(task)
+    result = ScanResult(
+        task=task,
+        constraint_kop_per_pixel=constraint_kop_per_pixel,
+        input_block=input_block,
+        candidates=[],
+    )
+    for num_modules in module_counts:
+        spec = largest_expansion_ratio(
+            task, num_modules, constraint_kop_per_pixel, input_block
+        )
+        if spec is None:
+            continue
+        network = build_ernet(spec)
+        report = model_complexity(network, input_block)
+        depth = _depth_3x3(network)
+        result.candidates.append(
+            CandidateModel(
+                spec=spec,
+                input_block=input_block,
+                intrinsic_kop_per_pixel=report.intrinsic_kop_per_pixel,
+                ncr=report.ncr,
+                effective_kop_per_pixel=report.effective_kop_per_pixel,
+                depth=depth,
+                predicted_psnr=quality.predict(report.intrinsic_kop_per_pixel, depth),
+            )
+        )
+    return result
+
+
+def scan_all_constraints(
+    task: str,
+    constraints: Dict[str, float],
+    *,
+    input_block: int = 128,
+    module_counts: Sequence[int] = tuple(range(2, 41, 2)),
+) -> Dict[str, ScanResult]:
+    """Scan one task against several named constraints (e.g. the three specs)."""
+    return {
+        name: scan_models(
+            task, kop, input_block=input_block, module_counts=module_counts
+        )
+        for name, kop in constraints.items()
+    }

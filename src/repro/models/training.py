@@ -1,0 +1,73 @@
+"""Training-procedure settings (Table 3 of the paper).
+
+The reproduction does not train networks (see DESIGN.md), but the three-stage
+training procedure and its hyper-parameters are part of the paper's method
+and are recorded here so the model-scanning and quantization code can refer
+to them and the Table 3 bench can print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TrainingStage:
+    """Hyper-parameters of one training stage."""
+
+    name: str
+    patch_size: int
+    batch_size: int
+    mini_batches: int
+    learning_rate: float
+    lr_decay: str
+    datasets: Tuple[str, ...]
+    purpose: str
+
+
+#: The three stages of the paper's training procedure: a lightweight scanning
+#: pass, a heavy polishing pass for the picked models, and quantization
+#: fine-tuning.  Values follow Table 3's lightweight-vs-heavy split.
+TRAINING_SETTINGS: Dict[str, TrainingStage] = {
+    "scanning": TrainingStage(
+        name="scanning",
+        patch_size=64,
+        batch_size=16,
+        mini_batches=100_000,
+        learning_rate=1e-4,
+        lr_decay="halve at 60% of schedule",
+        datasets=("DIV2K", "Waterloo Exploration"),
+        purpose="lightweight quality ranking of candidate models",
+    ),
+    "polish": TrainingStage(
+        name="polish",
+        patch_size=96,
+        batch_size=16,
+        mini_batches=600_000,
+        learning_rate=1e-4,
+        lr_decay="halve every 200k mini-batches",
+        datasets=("DIV2K", "Waterloo Exploration"),
+        purpose="full-quality training of the selected models",
+    ),
+    "fine-tune": TrainingStage(
+        name="fine-tune",
+        patch_size=96,
+        batch_size=16,
+        mini_batches=200_000,
+        learning_rate=1e-5,
+        lr_decay="constant",
+        datasets=("DIV2K", "Waterloo Exploration"),
+        purpose="recover quantization loss with clipped-ReLU gradients",
+    ),
+}
+
+
+def training_stage(name: str) -> TrainingStage:
+    """Look up a training stage by name."""
+    try:
+        return TRAINING_SETTINGS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown training stage {name!r}; known: {sorted(TRAINING_SETTINGS)}"
+        ) from exc

@@ -1,0 +1,53 @@
+"""Deterministic weight initializers.
+
+The reproduction cannot train the paper's networks offline, so model weights
+are produced by deterministic, seeded initializers.  The initializers follow
+standard fan-in scaling so activation magnitudes stay bounded through deep
+stacks, which keeps the fixed-point quantization study (Table 5) meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """Return a reproducible random generator for the given seed."""
+    return np.random.default_rng(seed)
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-normal initialization, appropriate for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_laplace(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-scaled Laplacian weights.
+
+    Trained CNN weights are heavy tailed (close to Laplacian), which is what
+    makes the paper's DC Huffman coding pay off (Table 5).  Untrained models
+    in this reproduction therefore draw their weights from a Laplacian with
+    the He variance so quantization and entropy-coding statistics behave like
+    a trained model's.
+    """
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    scale = np.sqrt(2.0 / fan_in) / np.sqrt(2.0)  # Laplace variance is 2*scale^2
+    return rng.laplace(0.0, scale, size=shape)
+
+
+def lecun_uniform(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """LeCun-uniform initialization, used for linear (no-ReLU) output layers."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    limit = np.sqrt(3.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,29 @@
+"""Image quality metrics used by the evaluation (PSNR, MSE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two arrays of equal shape."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError(f"shape mismatch {reference.shape} vs {test.shape}")
+    diff = reference - test
+    return float(np.mean(diff * diff))
+
+
+def psnr_from_mse(error: float, peak: float = 1.0) -> float:
+    """PSNR in dB from an MSE value and signal peak."""
+    if error < 0:
+        raise ValueError("MSE cannot be negative")
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10((peak * peak) / error))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio between a reference and a test image."""
+    return psnr_from_mse(mse(reference, test), peak=peak)

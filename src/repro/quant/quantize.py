@@ -1,0 +1,227 @@
+"""Quantization plan construction (Eq. (4) of the paper).
+
+The quantization stage picks, for every parameter/feature group, the
+fractional precision ``n`` minimising the L1 or L2 error between the
+floating-point values and their clipped-and-rounded fixed-point images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal, Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv2d
+from repro.nn.network import Sequential, iter_conv_layers
+from repro.nn.tensor import FeatureMap
+from repro.quant.qformat import QFormat
+
+Norm = Literal["l1", "l2"]
+
+
+def quantize(values: np.ndarray, qformat: QFormat) -> np.ndarray:
+    """Clip and round ``values`` to ``qformat`` and return the real values."""
+    return qformat.quantize(values)
+
+
+def dequantize(codes: np.ndarray, qformat: QFormat) -> np.ndarray:
+    """Convert integer codes of ``qformat`` back to real values."""
+    return qformat.codes_to_values(codes)
+
+
+def quantization_error(values: np.ndarray, qformat: QFormat, norm: Norm = "l2") -> float:
+    """Total L1 or L2 quantization error of ``values`` under ``qformat``."""
+    values = np.asarray(values, dtype=np.float64)
+    err = values - qformat.quantize(values)
+    if norm == "l1":
+        return float(np.abs(err).sum())
+    if norm == "l2":
+        return float((err * err).sum())
+    raise ValueError(f"norm must be 'l1' or 'l2', got {norm!r}")
+
+
+def optimal_fraction_bits(
+    values: np.ndarray,
+    *,
+    bits: int = 8,
+    signed: bool = True,
+    norm: Norm = "l2",
+    search_range: Iterable[int] = range(-4, 16),
+) -> QFormat:
+    """Search the fractional precision minimising the quantization error.
+
+    Implements Eq. (4): ``argmin_n sum |x - Q_n(x)|^l`` over a search range of
+    fraction-bit positions.  Ties are broken toward the larger fraction (finer
+    resolution), matching the paper's preference for preserving small values.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot choose a Q-format for an empty value collection")
+    best: Optional[QFormat] = None
+    best_err = np.inf
+    for frac in search_range:
+        candidate = QFormat(frac=frac, bits=bits, signed=signed)
+        err = quantization_error(values, candidate, norm=norm)
+        if err < best_err or (err == best_err and best is not None and frac > best.frac):
+            best = candidate
+            best_err = err
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class LayerQuantization:
+    """Chosen Q-formats for one convolution layer."""
+
+    layer_name: str
+    weight_format: QFormat
+    bias_format: QFormat
+    output_format: QFormat
+    weight_error: float
+    bias_error: float
+
+
+@dataclass
+class QuantizationPlan:
+    """Per-layer Q-formats for a whole network plus summary statistics."""
+
+    model_name: str
+    norm: Norm
+    layers: List[LayerQuantization] = field(default_factory=list)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def formats_by_layer(self) -> Dict[str, LayerQuantization]:
+        return {lq.layer_name: lq for lq in self.layers}
+
+    @property
+    def total_weight_error(self) -> float:
+        return sum(lq.weight_error for lq in self.layers)
+
+    def describe(self) -> str:
+        lines = [f"quantization plan for {self.model_name} ({self.norm}-norm)"]
+        for lq in self.layers:
+            lines.append(
+                f"  {lq.layer_name:24s} weights={lq.weight_format.name:5s} "
+                f"bias={lq.bias_format.name:5s} out={lq.output_format.name:5s}"
+            )
+        return "\n".join(lines)
+
+
+def quantize_network(
+    network: Sequential,
+    *,
+    calibration_inputs: Optional[Iterable[FeatureMap]] = None,
+    bits: int = 8,
+    norm: Norm = "l2",
+    feature_bits: int = 8,
+) -> QuantizationPlan:
+    """Build a per-layer quantization plan for ``network``.
+
+    Weight and bias formats are derived directly from the parameter values;
+    feature-output formats are derived from activations collected by running
+    the network on ``calibration_inputs`` (the paper inferences on the training
+    set for this purpose).  When no calibration inputs are given, a generic
+    activation range of [-2, 2) is assumed, which corresponds to Q6 at 8 bits.
+    """
+    convs = [layer for layer in iter_conv_layers(network) if isinstance(layer, Conv2d)]
+    if not convs:
+        raise ValueError("network contains no convolution layers to quantize")
+
+    activation_samples: Dict[int, List[np.ndarray]] = {i: [] for i in range(len(convs))}
+    if calibration_inputs is not None:
+        for fm in calibration_inputs:
+            _collect_activations(network, fm, convs, activation_samples)
+
+    name = getattr(network, "name", "network")
+    plan = QuantizationPlan(model_name=name, norm=norm)
+    seen: Dict[str, int] = {}
+    for index, conv in enumerate(convs):
+        layer_name = conv.name
+        if layer_name in seen:
+            seen[layer_name] += 1
+            layer_name = f"{layer_name}#{seen[conv.name]}"
+        else:
+            seen[layer_name] = 0
+
+        wfmt = optimal_fraction_bits(conv.weights, bits=bits, signed=True, norm=norm)
+        bias_values = conv.bias if np.any(conv.bias) else np.asarray([0.0, conv.weights.std()])
+        bfmt = optimal_fraction_bits(bias_values, bits=bits, signed=True, norm=norm)
+
+        samples = activation_samples[index]
+        if samples:
+            acts = np.concatenate([s.ravel() for s in samples])
+            signed_out = bool((acts < 0).any())
+            ofmt = optimal_fraction_bits(acts, bits=feature_bits, signed=signed_out, norm=norm)
+        else:
+            ofmt = QFormat(frac=feature_bits - 2, bits=feature_bits, signed=True)
+
+        plan.layers.append(
+            LayerQuantization(
+                layer_name=layer_name,
+                weight_format=wfmt,
+                bias_format=bfmt,
+                output_format=ofmt,
+                weight_error=quantization_error(conv.weights, wfmt, norm=norm),
+                bias_error=quantization_error(conv.bias, bfmt, norm=norm),
+            )
+        )
+    return plan
+
+
+def apply_plan(network: Sequential, plan: QuantizationPlan) -> None:
+    """Quantize the network's convolution weights/biases in place."""
+    convs = [layer for layer in iter_conv_layers(network) if isinstance(layer, Conv2d)]
+    if len(convs) != plan.num_layers:
+        raise ValueError(
+            f"plan has {plan.num_layers} layers but network has {len(convs)} convolutions"
+        )
+    for conv, lq in zip(convs, plan.layers):
+        conv.weights = lq.weight_format.quantize(conv.weights)
+        conv.bias = lq.bias_format.quantize(conv.bias)
+
+
+def _collect_activations(
+    network: Sequential,
+    fm: FeatureMap,
+    convs: List[Conv2d],
+    samples: Dict[int, List[np.ndarray]],
+) -> None:
+    """Run ``network`` on ``fm`` collecting each conv layer's output values."""
+    conv_index = 0
+
+    def run(layer, x: FeatureMap) -> FeatureMap:
+        nonlocal conv_index
+        from repro.nn.layers import Residual
+        from repro.nn.network import Sequential as Seq
+
+        if isinstance(layer, Conv2d):
+            out = layer.forward(x)
+            samples[conv_index].append(out.data)
+            conv_index += 1
+            return out
+        if isinstance(layer, Residual):
+            out = x
+            for inner in layer.body:
+                out = run(inner, out)
+            crop_h = (x.height - out.height) // 2
+            crop_w = (x.width - out.width) // 2
+            skip = x.data[
+                :,
+                crop_h : x.height - crop_h,
+                crop_w : x.width - crop_w,
+            ]
+            return out.with_data(out.data + skip)
+        if isinstance(layer, Seq):
+            out = x
+            for inner in layer.layers:
+                out = run(inner, out)
+            return out
+        return layer.forward(x)
+
+    out = fm
+    for layer in network.layers:
+        out = run(layer, out)

@@ -1,0 +1,63 @@
+"""Real-time video specifications used throughout the evaluation.
+
+The paper targets three real-time operating points (Table 2): 4K UHD 30 fps,
+Full HD 60 fps and Full HD 30 fps.  Each maps to an output pixel rate and —
+for a given accelerator compute budget — to a computation constraint in
+KOP per output pixel that the model-scanning procedure optimizes against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RealTimeSpec:
+    """One real-time operating point (resolution + frame rate)."""
+
+    name: str
+    width: int
+    height: int
+    fps: float
+
+    @property
+    def pixels_per_frame(self) -> int:
+        return self.width * self.height
+
+    @property
+    def pixel_rate(self) -> float:
+        """Output pixels per second."""
+        return self.pixels_per_frame * self.fps
+
+    def kop_per_pixel_budget(self, tops: float) -> float:
+        """Computation constraint in KOP/pixel for an accelerator of ``tops`` TOPS."""
+        if tops <= 0:
+            raise ValueError("tops must be positive")
+        return tops * 1e12 / self.pixel_rate / 1e3
+
+
+#: The three operating points of the paper (Table 2).
+SPECIFICATIONS: Dict[str, RealTimeSpec] = {
+    "UHD30": RealTimeSpec("UHD30", 3840, 2160, 30.0),
+    "HD60": RealTimeSpec("HD60", 1920, 1080, 60.0),
+    "HD30": RealTimeSpec("HD30", 1920, 1080, 30.0),
+}
+
+#: The paper's computation constraints (KOP per output pixel) for the three
+#: operating points given the eCNN compute budget (Section 4.2).
+COMPUTATION_CONSTRAINTS: Dict[str, float] = {
+    "UHD30": 164.0,
+    "HD60": 328.0,
+    "HD30": 655.0,
+}
+
+
+def specification(name: str) -> RealTimeSpec:
+    """Look up a specification by name (``UHD30`` / ``HD60`` / ``HD30``)."""
+    try:
+        return SPECIFICATIONS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown specification {name!r}; expected one of {sorted(SPECIFICATIONS)}"
+        ) from exc

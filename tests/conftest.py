@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.workloads import synthetic_image
+from repro.models.baselines import build_plain_network
+from repro.models.ernet import build_dnernet, build_sr2ernet, build_sr4ernet
+from repro.nn.layers import Conv2d, ReLU, Residual
+from repro.nn.network import Network, Sequential
+from repro.nn.ops import PixelShuffle
+from repro.nn.tensor import FeatureMap
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_image() -> FeatureMap:
+    """A small deterministic natural-image-like test image."""
+    return synthetic_image(48, 40, seed=7)
+
+
+@pytest.fixture
+def tiny_plain_network() -> Network:
+    """A small plain 3x3 network (depth 4, width 8) for fast functional tests."""
+    return build_plain_network(4, 8, seed=3)
+
+
+@pytest.fixture
+def tiny_ernet() -> Network:
+    """A tiny denoising ERNet (B=2, R=2) for fast end-to-end tests."""
+    return build_dnernet(2, 2, 0, seed=5)
+
+
+@pytest.fixture
+def tiny_sr_network() -> Network:
+    """A tiny x2 SR network with one upsampler for geometry tests."""
+    return build_sr2ernet(2, 1, 0, seed=9)
+
+
+@pytest.fixture
+def mixed_network() -> Sequential:
+    """A hand-built network mixing conv, residual and pixel shuffle layers."""
+    layers = [
+        Conv2d(3, 8, 3, seed=1, name="head"),
+        Residual(
+            [Conv2d(8, 16, 3, seed=2), ReLU(), Conv2d(16, 8, 1, seed=3)],
+            name="res0",
+        ),
+        Conv2d(8, 12, 3, seed=4, name="pre_shuffle"),
+        PixelShuffle(2),
+        Conv2d(3, 3, 3, seed=5, name="out"),
+    ]
+    return Sequential(layers, name="mixed")

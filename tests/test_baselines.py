@@ -1,0 +1,137 @@
+"""Tests for the comparator-system models (frame-based, fusion, Diffy, IDEAL,
+Eyeriss, SCALE-Sim)."""
+
+import pytest
+
+from repro.baselines.diffy import DIFFY_FFDNET, DIFFY_VDSR
+from repro.baselines.eyeriss import EYERISS_VGG16, recognition_comparison
+from repro.baselines.frame_based import frame_based_feature_bandwidth, frame_based_report
+from repro.baselines.ideal import IDEAL_BM3D
+from repro.baselines.layer_fusion import fused_layer_line_buffer_bytes, fusion_comparison
+from repro.baselines.scale_sim import TPU_CONFIG, simulate_systolic
+from repro.hw.dram import dram_traffic, select_dram
+from repro.models.baselines import build_vdsr
+from repro.models.ernet import build_dnernet, build_sr4ernet
+from repro.specs import SPECIFICATIONS
+
+
+class TestFrameBased:
+    def test_eq1_vdsr_full_hd(self):
+        bandwidth = frame_based_feature_bandwidth(20, 64, SPECIFICATIONS["HD30"])
+        assert bandwidth == pytest.approx(303.0, rel=0.02)
+
+    def test_uhd_is_four_times_full_hd(self):
+        hd = frame_based_feature_bandwidth(20, 64, SPECIFICATIONS["HD30"])
+        uhd = frame_based_feature_bandwidth(20, 64, SPECIFICATIONS["UHD30"])
+        assert uhd == pytest.approx(4 * hd, rel=0.01)
+
+    def test_report_for_actual_vdsr_network(self):
+        report = frame_based_report(build_vdsr(), SPECIFICATIONS["HD30"])
+        assert report.feature_bandwidth_gb_s == pytest.approx(303.0, rel=0.1)
+        # The paper quotes a ~811x overhead of feature traffic over image
+        # traffic for VDSR (2C(D-1)/3 with 16-bit features vs 8-bit images).
+        assert report.bandwidth_overhead_versus_images() == pytest.approx(811, rel=0.25)
+
+    def test_block_flow_removes_orders_of_magnitude(self):
+        frame = frame_based_report(build_vdsr(), SPECIFICATIONS["HD30"])
+        block = dram_traffic(build_dnernet(16, 1, 0), SPECIFICATIONS["HD30"])
+        assert frame.total_bandwidth_gb_s / block.total_gb_s > 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            frame_based_feature_bandwidth(1, 64, SPECIFICATIONS["HD30"])
+        with pytest.raises(ValueError):
+            frame_based_feature_bandwidth(20, 0, SPECIFICATIONS["HD30"])
+
+
+class TestLayerFusion:
+    def test_vdsr_needs_9_3_mb_of_line_buffers(self):
+        size = fused_layer_line_buffer_bytes(20, 64, 1920)
+        assert size == pytest.approx(9.3e6, rel=0.05)
+
+    def test_line_buffer_grows_with_width_and_depth(self):
+        base = fused_layer_line_buffer_bytes(20, 64, 1920)
+        assert fused_layer_line_buffer_bytes(20, 64, 3840) == pytest.approx(2 * base)
+        assert fused_layer_line_buffer_bytes(39, 64, 1920) == pytest.approx(2 * base, rel=0.01)
+
+    def test_comparison_against_block_buffers(self):
+        comparison = fusion_comparison("VDSR", 20, 64, 1920, 3 * 512 * 1024)
+        assert comparison.sram_ratio > 5.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fused_layer_line_buffer_bytes(1, 64, 1920)
+        with pytest.raises(ValueError):
+            fused_layer_line_buffer_bytes(20, 0, 1920)
+
+
+class TestPublishedFigures:
+    def test_table7_power_ordering(self):
+        # eCNN (~7 W) beats IDEAL (12.05 W), Diffy-FFDNet (27.16 W) and
+        # Diffy-VDSR (54.32 W).
+        assert IDEAL_BM3D.power_w < DIFFY_FFDNET.power_w < DIFFY_VDSR.power_w
+        assert DIFFY_VDSR.power_ratio_versus(7.08) > 7.0
+        assert DIFFY_FFDNET.power_ratio_versus(7.34) > 3.5
+
+    def test_comparators_need_high_end_dram(self):
+        for figure in (IDEAL_BM3D, DIFFY_FFDNET, DIFFY_VDSR):
+            assert figure.dram_bandwidth_gb_s > 20.0
+            assert not figure.throughput_is_constant
+
+    def test_ecnn_dram_is_low_end_by_comparison(self):
+        traffic = dram_traffic(build_dnernet(3, 1, 0), SPECIFICATIONS["UHD30"])
+        assert select_dram(traffic.total_gb_s).bandwidth_gb_s <= 3.2
+        assert DIFFY_VDSR.dram_bandwidth_gb_s / traffic.total_gb_s > 10
+
+    def test_power_ratio_validation(self):
+        with pytest.raises(ValueError):
+            DIFFY_VDSR.power_ratio_versus(0.0)
+
+
+class TestEyerissComparison:
+    def test_published_energy_and_dram_per_image(self):
+        assert EYERISS_VGG16.energy_per_image_mj == pytest.approx(337, rel=0.02)
+        assert EYERISS_VGG16.dram_per_image_mb == pytest.approx(106, rel=0.02)
+
+    def test_ecnn_recognition_advantages(self):
+        comparison = recognition_comparison(
+            ecnn_fps=1344.0,
+            ecnn_power_w=7.05,
+            ecnn_dram_mb_s=308.0,
+            ecnn_area_mm2=63.99,
+        )
+        assert comparison.ecnn.energy_per_image_mj == pytest.approx(5.25, rel=0.01)
+        assert comparison.energy_advantage > 50
+        assert comparison.dram_advantage > 100
+        assert comparison.fps_advantage > 1000
+
+
+class TestScaleSim:
+    def test_tpu_peak_tops(self):
+        assert TPU_CONFIG.peak_tops == pytest.approx(91.8, rel=0.02)
+
+    def test_sr4_uhd_not_realtime_on_tpu(self):
+        report = simulate_systolic(build_sr4ernet(17, 3, 1), SPECIFICATIONS["UHD30"])
+        assert report.fps < 30.0
+        assert report.dram_bandwidth_gb_s > 5.0
+
+    def test_sr4_hd_on_tpu(self):
+        report = simulate_systolic(build_sr4ernet(34, 4, 0), SPECIFICATIONS["HD30"])
+        assert 30.0 < report.fps < 90.0
+
+    def test_ecnn_wins_on_efficiency_metrics(self):
+        from repro.hw.performance import evaluate_performance
+
+        net = build_sr4ernet(17, 3, 1)
+        tpu = simulate_systolic(net, SPECIFICATIONS["UHD30"])
+        ecnn = evaluate_performance(net, SPECIFICATIONS["UHD30"])
+        ecnn_traffic = dram_traffic(net, SPECIFICATIONS["UHD30"])
+        throughput_ratio = ecnn.throughput_efficiency / tpu.throughput_efficiency
+        intensity_ratio = (
+            ecnn.peak_tops / ecnn_traffic.total_gb_s
+        ) / tpu.arithmetic_intensity
+        # Section 7.2: eCNN delivers ~3.1x fps/TOPS and ~6.4x TOPS/(GB/s) for
+        # this model; the reproduction should preserve at least the ordering
+        # and rough magnitude.
+        assert throughput_ratio > 2.0
+        assert intensity_ratio > 3.0

@@ -1,0 +1,141 @@
+"""Tests for the block-based truncated-pyramid inference flow.
+
+The central invariant: for any FBISA-compatible network, the stitched
+block-based output equals the frame-based output exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.workloads import synthetic_image
+from repro.core.blockflow import (
+    block_based_inference,
+    frame_based_inference,
+    input_interval_for_output,
+    network_scale,
+    partition_image,
+    stitch_blocks,
+    total_input_margin,
+)
+from repro.models.baselines import build_plain_network
+from repro.models.ernet import build_dnernet, build_sr2ernet
+from repro.nn.layers import Conv2d
+from repro.nn.network import Sequential
+from repro.nn.ops import PixelShuffle
+from repro.nn.tensor import FeatureMap
+
+
+class TestGeometry:
+    def test_input_interval_plain_stack(self):
+        layers = [Conv2d(3, 8, 3), Conv2d(8, 3, 3)]
+        assert input_interval_for_output(0, 10, layers) == (-2, 12)
+        assert total_input_margin(layers) == 2
+
+    def test_input_interval_with_upsampler(self):
+        layers = [Conv2d(3, 12, 3), PixelShuffle(2), Conv2d(3, 3, 3)]
+        lo, hi = input_interval_for_output(0, 8, layers)
+        # output 8 px at 2x -> 5 px window pre-shuffle (with conv margin) -> +1 head margin
+        assert lo == -2
+        assert hi >= 6
+        assert total_input_margin(layers) == 2
+
+    def test_network_scale(self):
+        assert network_scale([Conv2d(3, 3, 3)]) == 1.0
+        assert network_scale([Conv2d(3, 12, 3), PixelShuffle(2)]) == 2.0
+
+    def test_partition_covers_output_exactly(self, tiny_plain_network):
+        grid = partition_image(50, 62, tiny_plain_network, output_block=16)
+        covered = np.zeros((50, 62), dtype=int)
+        for block in grid.blocks:
+            covered[
+                block.out_row : block.out_row + block.out_height,
+                block.out_col : block.out_col + block.out_width,
+            ] += 1
+        assert np.all(covered == 1)
+
+    def test_partition_block_input_sizes_include_margin(self, tiny_plain_network):
+        grid = partition_image(64, 64, tiny_plain_network, output_block=16)
+        margin = total_input_margin(tiny_plain_network.layers)
+        for block in grid.blocks:
+            assert block.in_height == block.out_height + 2 * margin
+            assert block.in_width == block.out_width + 2 * margin
+
+    def test_partition_rejects_bad_block(self, tiny_plain_network):
+        with pytest.raises(ValueError):
+            partition_image(32, 32, tiny_plain_network, output_block=0)
+
+    def test_measured_nbr_larger_than_one(self, tiny_plain_network):
+        grid = partition_image(64, 64, tiny_plain_network, output_block=16)
+        assert grid.measured_nbr() > 2.0
+
+
+class TestEquivalence:
+    def test_plain_network(self, tiny_plain_network):
+        image = synthetic_image(40, 44, seed=1)
+        reference = frame_based_inference(tiny_plain_network, image)
+        output, grid = block_based_inference(tiny_plain_network, image, output_block=12)
+        assert output.shape == reference.shape
+        assert np.allclose(output.data, reference.data)
+        assert grid.num_blocks == 16
+
+    def test_ernet_with_residuals(self, tiny_ernet):
+        image = synthetic_image(36, 30, seed=2)
+        reference = frame_based_inference(tiny_ernet, image)
+        output, _ = block_based_inference(tiny_ernet, image, output_block=10)
+        assert np.allclose(output.data, reference.data)
+
+    def test_sr_network_with_upsampler(self, tiny_sr_network):
+        image = synthetic_image(24, 28, seed=3)
+        reference = frame_based_inference(tiny_sr_network, image)
+        output, grid = block_based_inference(tiny_sr_network, image, output_block=16)
+        assert output.shape == (3, 48, 56)
+        assert np.allclose(output.data, reference.data)
+        assert grid.output_height == 48 and grid.output_width == 56
+
+    def test_mixed_network(self, mixed_network):
+        image = synthetic_image(30, 26, seed=4)
+        reference = frame_based_inference(mixed_network, image)
+        output, _ = block_based_inference(mixed_network, image, output_block=14)
+        assert np.allclose(output.data, reference.data)
+
+    def test_block_size_does_not_change_result(self, tiny_plain_network):
+        image = synthetic_image(32, 32, seed=5)
+        first, _ = block_based_inference(tiny_plain_network, image, output_block=8)
+        second, _ = block_based_inference(tiny_plain_network, image, output_block=20)
+        assert np.allclose(first.data, second.data)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        height=st.integers(20, 40),
+        width=st.integers(20, 40),
+        block=st.integers(5, 24),
+        depth=st.integers(2, 4),
+    )
+    def test_equivalence_property(self, height, width, block, depth):
+        network = build_plain_network(depth, 6, seed=depth)
+        image = synthetic_image(height, width, seed=height * width)
+        reference = frame_based_inference(network, image)
+        output, _ = block_based_inference(network, image, output_block=block)
+        assert np.allclose(output.data, reference.data)
+
+
+class TestStitching:
+    def test_stitch_blocks_rebuilds_image(self, tiny_plain_network):
+        image = synthetic_image(32, 32, seed=6)
+        output, grid = block_based_inference(tiny_plain_network, image, output_block=16)
+        pieces = []
+        for spec in grid.blocks:
+            crop = output.crop(spec.out_row, spec.out_col, spec.out_height, spec.out_width)
+            pieces.append((spec, crop))
+        rebuilt = stitch_blocks(pieces, grid.output_height, grid.output_width)
+        assert np.allclose(rebuilt.data, output.data)
+
+    def test_stitch_rejects_empty_and_mismatched(self, tiny_plain_network):
+        with pytest.raises(ValueError):
+            stitch_blocks([], 8, 8)
+        image = synthetic_image(32, 32, seed=7)
+        _, grid = block_based_inference(tiny_plain_network, image, output_block=16)
+        bad = FeatureMap(np.zeros((3, 1, 1)))
+        with pytest.raises(ValueError):
+            stitch_blocks([(grid.blocks[0], bad)], 32, 32)

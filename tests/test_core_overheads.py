@@ -1,0 +1,172 @@
+"""Tests for the NBR / NCR overhead analytics (Eqs. 2-3 and generalisations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blockflow import block_based_inference
+from repro.core.overheads import (
+    block_buffer_bytes,
+    block_size_for_buffer,
+    general_nbr,
+    general_ncr,
+    intrinsic_macs_per_output_pixel,
+    normalized_bandwidth_ratio,
+    normalized_computation_ratio,
+    overhead_report,
+    pyramid_volume,
+)
+from repro.core.partition import partition_into_submodels
+from repro.analysis.workloads import synthetic_image
+from repro.models.baselines import build_plain_network, build_vdsr
+from repro.models.ernet import build_sr4ernet
+from repro.nn.layers import Conv2d
+from repro.nn.network import Sequential
+
+
+class TestClosedForms:
+    def test_nbr_at_zero_beta_is_two(self):
+        assert normalized_bandwidth_ratio(0.0) == pytest.approx(2.0)
+
+    def test_nbr_matches_paper_example(self):
+        # The paper quotes NBR = 26x for beta = 0.4.
+        assert normalized_bandwidth_ratio(0.4) == pytest.approx(26.0)
+
+    def test_ncr_at_zero_beta_is_one(self):
+        assert normalized_computation_ratio(0.0) == pytest.approx(1.0)
+
+    def test_ncr_monotonically_increases(self):
+        betas = np.linspace(0.0, 0.45, 30)
+        values = [normalized_computation_ratio(b) for b in betas]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_recomputation_dominates_near_limit(self):
+        # Around beta = 0.4 the paper notes ~90% of compute is recomputation.
+        ncr = normalized_computation_ratio(0.4)
+        assert ncr > 5.0
+
+    def test_invalid_beta_rejected(self):
+        for beta in (-0.1, 0.5, 0.7):
+            with pytest.raises(ValueError):
+                normalized_bandwidth_ratio(beta)
+            with pytest.raises(ValueError):
+                normalized_computation_ratio(beta)
+
+    @settings(max_examples=30, deadline=None)
+    @given(depth=st.integers(2, 20), input_size=st.integers(48, 256))
+    def test_closed_form_ncr_close_to_discrete_counting(self, depth, input_size):
+        if input_size <= 2 * depth + 4:
+            return
+        beta = depth / input_size
+        closed = normalized_computation_ratio(beta)
+        discrete = pyramid_volume(depth, input_size) / (depth * (input_size - 2 * depth) ** 2)
+        assert closed == pytest.approx(discrete, rel=0.15)
+
+
+class TestBlockBufferSizing:
+    def test_block_buffer_bytes(self):
+        # 32 channels x 128 x 128 x 8 bit = 512 KB, the eCNN block buffer size.
+        assert block_buffer_bytes(32, 128, 8) == 512 * 1024
+
+    def test_block_size_for_buffer_inverts_sizing(self):
+        side = block_size_for_buffer(512 * 1024, 32, 8)
+        assert side == 128
+        assert block_buffer_bytes(32, side, 8) <= 512 * 1024
+        assert block_buffer_bytes(32, side + 1, 8) > 512 * 1024
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            block_buffer_bytes(0, 10)
+        with pytest.raises(ValueError):
+            block_size_for_buffer(0, 32)
+
+
+class TestGeneralRatios:
+    def test_general_ncr_matches_formula_for_plain_network(self):
+        depth, channels, block = 10, 16, 96
+        network = build_plain_network(depth, channels, seed=1)
+        general = general_ncr(network.layers, block)
+        closed = normalized_computation_ratio(depth / block)
+        assert general == pytest.approx(closed, rel=0.12)
+
+    def test_general_nbr_matches_formula_for_plain_network(self):
+        depth, block = 8, 64
+        network = build_plain_network(depth, 12, seed=2)
+        general = general_nbr(network.layers, block)
+        closed = normalized_bandwidth_ratio(depth / block)
+        assert general == pytest.approx(closed, rel=0.01)
+
+    def test_general_ncr_decreases_with_block_size(self):
+        network = build_plain_network(10, 8, seed=3)
+        small = general_ncr(network.layers, 48)
+        large = general_ncr(network.layers, 160)
+        assert large < small
+
+    def test_vdsr_ncr_about_two_with_one_mb_buffers(self):
+        # Fig. 5(b): VDSR's NCR is ~2x with 1 MB block buffers (xi ~ 90 at
+        # 64 channels, 16-bit features).
+        vdsr = build_vdsr()
+        block = block_size_for_buffer(1024 * 1024, 64, 16)
+        ncr = general_ncr(vdsr.layers, block)
+        assert 1.5 < ncr < 2.6
+
+    def test_measured_computation_matches_general_ncr(self):
+        # Count actual MACs executed on one truncated-pyramid block (layer by
+        # layer, using the real per-layer output sizes) and compare to the
+        # analytic NCR.
+        from repro.nn.receptive_field import per_layer_sizes
+
+        network = build_plain_network(4, 6, seed=5)
+        output_block = 20
+        input_block = output_block + 2 * 4
+        sizes = per_layer_sizes(input_block, network.layers)
+        convs = [layer for layer in network.layers if isinstance(layer, Conv2d)]
+        conv_sizes = [size for layer, size in zip(network.layers, sizes[1:]) if isinstance(layer, Conv2d)]
+        per_block_macs = sum(
+            conv.macs_per_output_pixel() * size * size
+            for conv, size in zip(convs, conv_sizes)
+        )
+        intrinsic = intrinsic_macs_per_output_pixel(network.layers)
+        measured_ncr = per_block_macs / (intrinsic * output_block * output_block)
+        analytic_ncr = general_ncr(network.layers, input_block)
+        assert measured_ncr == pytest.approx(analytic_ncr, rel=0.01)
+
+    def test_block_too_small_raises(self):
+        network = build_plain_network(10, 8)
+        with pytest.raises(ValueError):
+            general_ncr(network.layers, 12)
+
+
+class TestOverheadReport:
+    def test_report_fields_consistent(self):
+        network = build_sr4ernet(4, 2, 0, seed=1)
+        report = overhead_report(network, 64)
+        assert report.effective_kop_per_pixel == pytest.approx(
+            report.intrinsic_kop_per_pixel * report.ncr
+        )
+        assert report.block_buffer_bytes == block_buffer_bytes(32, 64, 8)
+        assert report.output_block > 0
+        assert "NBR" in report.describe()
+
+
+class TestSubModelPartitioning:
+    def test_split_reduces_combined_ncr(self):
+        network = build_plain_network(16, 8, seed=7)
+        whole = general_ncr(network.layers, 64)
+        plan = partition_into_submodels(network, 2, 64)
+        assert plan.num_submodels == 2
+        assert plan.combined_ncr < whole
+        assert plan.extra_dram_bytes_per_pixel > 0
+
+    def test_single_submodel_adds_no_traffic(self):
+        network = build_plain_network(8, 8, seed=8)
+        plan = partition_into_submodels(network, 1, 64)
+        assert plan.extra_dram_bytes_per_pixel == 0.0
+        assert plan.combined_ncr == pytest.approx(general_ncr(network.layers, 64), rel=0.05)
+
+    def test_invalid_split_counts(self):
+        network = build_plain_network(4, 8)
+        with pytest.raises(ValueError):
+            partition_into_submodels(network, 0, 64)
+        with pytest.raises(ValueError):
+            partition_into_submodels(network, 100, 64)

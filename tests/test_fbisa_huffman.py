@@ -1,0 +1,137 @@
+"""Tests for the DC Huffman parameter coder and bitstream packer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fbisa.huffman import (
+    HuffmanTable,
+    compression_ratio,
+    decode_values,
+    encode_values,
+    entropy_bits_per_symbol,
+)
+from repro.fbisa.params import (
+    InstructionParameters,
+    NUM_STREAMS,
+    pack_parameters,
+    split_into_streams,
+    weight_entropy,
+)
+
+
+class TestHuffman:
+    def test_round_trip_simple(self):
+        values = [0, 1, -1, 5, -17, 127, -128, 0, 0, 3]
+        stream = encode_values(values)
+        assert decode_values(stream) == values
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=300))
+    def test_round_trip_property(self, values):
+        stream = encode_values(values)
+        assert decode_values(stream) == values
+
+    def test_laplacian_weights_compress(self):
+        rng = np.random.default_rng(0)
+        values = np.rint(rng.laplace(0, 6, 20000)).astype(int)
+        values = np.clip(values, -128, 127)
+        ratio = compression_ratio(values)
+        assert 1.1 <= ratio <= 2.5
+
+    def test_uniform_values_do_not_compress_much(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(-128, 128, 5000)
+        assert compression_ratio(values) < 1.15
+
+    def test_encoded_size_close_to_shannon_limit(self):
+        rng = np.random.default_rng(2)
+        values = np.clip(np.rint(rng.laplace(0, 5, 30000)), -128, 127).astype(int)
+        stream = encode_values(values)
+        entropy = entropy_bits_per_symbol(values)
+        bits_per_value = stream.payload_bits / len(values)
+        assert bits_per_value >= entropy - 1e-9
+        assert bits_per_value <= entropy * 1.25 + 0.5
+
+    def test_single_symbol_table(self):
+        stream = encode_values([0, 0, 0, 0])
+        assert decode_values(stream) == [0, 0, 0, 0]
+
+    def test_table_requires_symbols(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.build([])
+        with pytest.raises(ValueError):
+            entropy_bits_per_symbol([])
+
+    def test_decoder_rejects_truncated_stream(self):
+        stream = encode_values([5, -9, 33])
+        stream.bits = stream.bits[:-3]
+        with pytest.raises(ValueError):
+            decode_values(stream)
+
+
+def _instruction_params(seed=0, out_ch=32, in_ch=32, with_1x1=False):
+    rng = np.random.default_rng(seed)
+    weights3x3 = np.clip(np.rint(rng.laplace(0, 8, (out_ch, in_ch, 3, 3))), -128, 127)
+    weights1x1 = None
+    if with_1x1:
+        weights1x1 = np.clip(np.rint(rng.laplace(0, 8, (32, out_ch))), -128, 127)
+    biases = np.clip(np.rint(rng.laplace(0, 4, out_ch)), -128, 127)
+    return InstructionParameters(
+        weights3x3=weights3x3, weights1x1=weights1x1, biases=biases
+    )
+
+
+class TestBitstreamPacking:
+    def test_split_produces_21_streams(self):
+        streams = split_into_streams(_instruction_params(with_1x1=True))
+        assert len(streams) == NUM_STREAMS
+        # 18 weight streams of 512 coefficients each for one leaf-module.
+        for stream in streams[:18]:
+            assert len(stream) == 512
+        # Two 1x1 streams of 512 each, and the bias stream.
+        assert len(streams[18]) == 512 and len(streams[19]) == 512
+        assert len(streams[20]) == 32
+
+    def test_split_covers_all_weights_exactly_once(self):
+        params = _instruction_params(seed=3)
+        streams = split_into_streams(params)
+        total = sum(len(s) for s in streams[:18])
+        assert total == params.weights3x3.size
+        assert sorted(
+            v for s in streams[:18] for v in s
+        ) == sorted(int(v) for v in params.weights3x3.ravel())
+
+    def test_pack_parameters_reports_compression(self):
+        per_instruction = [_instruction_params(seed=i, with_1x1=True) for i in range(4)]
+        packed = pack_parameters("demo", per_instruction)
+        assert len(packed.segments) == 4
+        assert packed.total_encoded_bytes > 0
+        assert 0.9 <= packed.compression_ratio <= 2.0
+        addresses = packed.restart_addresses()
+        assert addresses[0] == 0
+        assert all(b > a for a, b in zip(addresses, addresses[1:]))
+
+    def test_fits_in_parameter_memory(self):
+        per_instruction = [_instruction_params(seed=9, with_1x1=True)]
+        packed = pack_parameters("demo", per_instruction)
+        assert packed.fits_in(1288 * 1024)
+        assert not packed.fits_in(10)
+
+    def test_wide_instruction_streams_grow_with_leaf_modules(self):
+        narrow = split_into_streams(_instruction_params(out_ch=32))
+        wide = split_into_streams(_instruction_params(out_ch=128))
+        assert len(wide[0]) == 4 * len(narrow[0])
+
+    def test_weight_entropy_reasonable(self):
+        per_instruction = [_instruction_params(seed=5)]
+        entropy = weight_entropy(per_instruction)
+        assert 2.0 < entropy < 8.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionParameters(weights3x3=np.zeros((4, 4, 2, 2)), biases=np.zeros(4))
+        with pytest.raises(ValueError):
+            InstructionParameters(weights3x3=np.zeros((4, 4, 3, 3)), biases=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            pack_parameters("empty", [])

@@ -1,0 +1,85 @@
+"""Tests for the eight-bank block buffer mapping (Fig. 17)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.blockbuffer import (
+    BankMapping,
+    BlockBuffer,
+    NUM_BANKS,
+    bank_of,
+    has_conflict,
+    misaligned_read_tiles,
+    pixel_shuffle_write_tiles,
+)
+
+
+class TestBankMappings:
+    @settings(max_examples=60, deadline=None)
+    @given(tile_x=st.integers(0, 63), tile_y=st.integers(0, 63))
+    def test_normal_mapping_conflict_free_for_misaligned_reads(self, tile_x, tile_y):
+        tiles = misaligned_read_tiles(tile_x, tile_y)
+        assert not has_conflict(tiles, BankMapping.NORMAL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tile_x=st.integers(0, 63), tile_y=st.integers(0, 63))
+    def test_interleaved_mapping_conflict_free_for_misaligned_reads(self, tile_x, tile_y):
+        tiles = misaligned_read_tiles(tile_x, tile_y)
+        assert not has_conflict(tiles, BankMapping.INTERLEAVED)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tile_x=st.integers(0, 63), tile_y_base=st.integers(0, 63))
+    def test_normal_mapping_conflicts_for_pixel_shuffle_writes(self, tile_x, tile_y_base):
+        tiles = pixel_shuffle_write_tiles(tile_x, tile_y_base)
+        assert has_conflict(tiles, BankMapping.NORMAL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tile_x=st.integers(0, 63), tile_y_base=st.integers(0, 63))
+    def test_interleaved_mapping_resolves_pixel_shuffle_writes(self, tile_x, tile_y_base):
+        tiles = pixel_shuffle_write_tiles(tile_x, tile_y_base)
+        assert not has_conflict(tiles, BankMapping.INTERLEAVED)
+
+    def test_bank_index_range(self):
+        for ty in range(16):
+            for tx in range(16):
+                assert 0 <= bank_of(tx, ty, BankMapping.NORMAL) < NUM_BANKS
+                assert 0 <= bank_of(tx, ty, BankMapping.INTERLEAVED) < NUM_BANKS
+        with pytest.raises(ValueError):
+            bank_of(-1, 0, BankMapping.NORMAL)
+
+
+class TestBlockBufferStorage:
+    def test_store_and_load_round_trip(self):
+        buffer = BlockBuffer(channels=4)
+        block = np.random.default_rng(0).normal(size=(4, 8, 16))
+        buffer.store_block(block)
+        assert np.allclose(buffer.load_block(8, 16), block)
+        assert sum(buffer.bank_accesses) > 0
+
+    def test_capacity_check(self):
+        buffer = BlockBuffer(capacity_bytes=512 * 1024, channels=32)
+        assert buffer.fits(128, 128)
+        assert not buffer.fits(130, 130)
+        small = BlockBuffer(capacity_bytes=64, channels=32)
+        with pytest.raises(ValueError):
+            small.store_block(np.zeros((32, 8, 8)))
+
+    def test_tile_alignment_required(self):
+        buffer = BlockBuffer(channels=2)
+        with pytest.raises(ValueError):
+            buffer.store_block(np.zeros((2, 7, 8)))
+        with pytest.raises(ValueError):
+            buffer.store_block(np.zeros((3, 8, 8)))
+
+    def test_tile_shape_validation(self):
+        buffer = BlockBuffer(channels=2)
+        with pytest.raises(ValueError):
+            buffer.write_tile(0, 0, np.zeros((2, 4, 2)))
+        with pytest.raises(KeyError):
+            buffer.read_tile(5, 5)
+
+    def test_conflict_free_helper(self):
+        buffer = BlockBuffer(mapping=BankMapping.NORMAL)
+        assert buffer.conflict_free(misaligned_read_tiles(3, 5))
+        assert not buffer.conflict_free(pixel_shuffle_write_tiles(2, 4))

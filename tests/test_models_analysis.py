@@ -1,0 +1,231 @@
+"""Tests for complexity accounting, model scanning, quality and sparsity models."""
+
+import numpy as np
+import pytest
+
+from repro.models.baselines import (
+    BASELINE_SPECS,
+    build_edsr_baseline,
+    build_plain_network,
+    build_srresnet,
+    build_vdsr,
+)
+from repro.models.complexity import kop_per_pixel, model_complexity, parameter_count, required_tops
+from repro.models.quality import (
+    QualityModel,
+    REFERENCE_PSNR,
+    default_quality_model,
+    predicted_psnr,
+    quantization_psnr,
+    reference_psnr,
+)
+from repro.models.scanning import largest_expansion_ratio, scan_models
+from repro.models.sparsity import (
+    depthwise_quality_drop,
+    depthwise_savings,
+    pruned_psnr_gain,
+    pruning_quality_drop,
+)
+from repro.models.training import TRAINING_SETTINGS, training_stage
+from repro.models.vision import (
+    RECOGNITION_SUMMARY,
+    STYLE_TRANSFER_SUMMARY,
+    build_recognition_network,
+    build_style_transfer_network,
+)
+from repro.specs import COMPUTATION_CONSTRAINTS, SPECIFICATIONS, specification
+
+
+class TestSpecifications:
+    def test_pixel_rates(self):
+        assert SPECIFICATIONS["UHD30"].pixel_rate == pytest.approx(3840 * 2160 * 30)
+        assert SPECIFICATIONS["HD60"].pixel_rate == pytest.approx(1920 * 1080 * 60)
+
+    def test_constraints_follow_from_ecnn_budget(self):
+        # 41 TOPS over the UHD30 pixel rate is ~164 KOP/pixel, and the HD30
+        # budget is four times larger.
+        uhd = SPECIFICATIONS["UHD30"].kop_per_pixel_budget(41.0)
+        assert uhd == pytest.approx(COMPUTATION_CONSTRAINTS["UHD30"], rel=0.02)
+        assert COMPUTATION_CONSTRAINTS["HD30"] == pytest.approx(
+            4 * COMPUTATION_CONSTRAINTS["UHD30"], rel=0.01
+        )
+
+    def test_lookup(self):
+        assert specification("HD30").fps == 30.0
+        with pytest.raises(KeyError):
+            specification("8K60")
+
+
+class TestBaselineNetworks:
+    def test_vdsr_complexity_matches_83_tops_at_hd30(self):
+        vdsr = build_vdsr()
+        tops = required_tops(vdsr, SPECIFICATIONS["HD30"])
+        assert tops == pytest.approx(83.0, rel=0.02)
+
+    def test_vdsr_parameters_match_reported_651k(self):
+        assert parameter_count(build_vdsr()) == pytest.approx(651_000, rel=0.05)
+
+    def test_srresnet_parameters_match_reported_1479k(self):
+        assert parameter_count(build_srresnet()) == pytest.approx(1_479_000, rel=0.05)
+
+    def test_edsr_baseline_shares_skeleton(self):
+        assert parameter_count(build_edsr_baseline()) == parameter_count(build_srresnet())
+
+    def test_plain_network_depth_and_margin(self):
+        net = build_plain_network(6, 16)
+        assert net.margin == 6
+        with pytest.raises(ValueError):
+            build_plain_network(1, 16)
+
+    def test_baseline_spec_table(self):
+        assert BASELINE_SPECS["VDSR"].depth == 20
+        assert BASELINE_SPECS["SRResNet"].parameters == 1_479_000
+
+
+class TestScanning:
+    def test_largest_expansion_ratio_respects_budget(self):
+        spec = largest_expansion_ratio("sr4", 10, 655.0, 128)
+        assert spec is not None
+        from repro.models.ernet import build_ernet
+
+        report = model_complexity(build_ernet(spec), 128)
+        assert report.effective_kop_per_pixel <= 655.0
+
+    def test_tighter_budget_means_smaller_ratio(self):
+        loose = largest_expansion_ratio("sr4", 20, 655.0, 128)
+        tight = largest_expansion_ratio("sr4", 20, 164.0, 128)
+        assert loose is not None and tight is not None
+        assert tight.expansion_ratio <= loose.expansion_ratio
+
+    def test_scan_reproduces_interior_optimum(self):
+        # Fig. 8: under the HD30 budget the best SR4ERNet is deep (B >= 28)
+        # but not the deepest scanned model.
+        result = scan_models("sr4", 655.0, module_counts=range(6, 41, 7))
+        assert result.candidates
+        best = result.best
+        assert best.spec.num_modules >= 20
+        shallow = result.candidate_by_modules(6)
+        assert shallow is not None
+        assert best.predicted_psnr > shallow.predicted_psnr
+
+    def test_scan_candidates_all_fit_budget(self):
+        result = scan_models("dn", 164.0, module_counts=range(2, 13, 2))
+        for candidate in result.candidates:
+            assert candidate.effective_kop_per_pixel <= 164.0
+            assert candidate.expansion_ratio <= 4.0 + 1e-9
+
+    def test_empty_scan_raises_on_best(self):
+        from repro.models.scanning import ScanResult
+
+        with pytest.raises(ValueError):
+            ScanResult("sr4", 100.0, 128, []).best
+
+
+class TestQualityModel:
+    def test_monotonic_in_complexity_and_depth(self):
+        model = default_quality_model("sr4")
+        assert model.predict(200.0, 30) > model.predict(100.0, 30)
+        assert model.predict(200.0, 30) > model.predict(200.0, 15)
+
+    def test_calibration_hits_anchor(self):
+        anchors = [(200.0, 36, 31.99)]
+        model = QualityModel.calibrate("sr4", anchors)
+        assert model.predict(200.0, 36) == pytest.approx(31.99, abs=1e-6)
+
+    def test_reference_psnr_offsets_match_paper(self):
+        # SRResNet is 0.6 dB above VDSR; the HD30 SR4ERNet is slightly above
+        # SRResNet; the UHD30 one is ~0.5 dB above VDSR (Section 7.1).
+        assert REFERENCE_PSNR["SRResNet"] - REFERENCE_PSNR["VDSR(sr4)"] == pytest.approx(0.6, abs=0.01)
+        assert REFERENCE_PSNR["SR4ERNet@HD30"] > REFERENCE_PSNR["SRResNet"]
+        assert REFERENCE_PSNR["SR4ERNet@UHD30"] - REFERENCE_PSNR["VDSR(sr4)"] == pytest.approx(
+            0.49, abs=0.02
+        )
+        assert REFERENCE_PSNR["DnERNet@HD30"] - REFERENCE_PSNR["CBM3D"] == pytest.approx(0.39, abs=0.02)
+
+    def test_dn12_improves_on_dn_at_uhd30(self):
+        assert (
+            REFERENCE_PSNR["DnERNet-12ch@UHD30"] - REFERENCE_PSNR["DnERNet@UHD30"]
+            == pytest.approx(0.54, abs=0.02)
+        )
+
+    def test_invalid_inputs(self):
+        model = default_quality_model("dn")
+        with pytest.raises(ValueError):
+            model.predict(0.0, 10)
+        with pytest.raises(ValueError):
+            model.predict(100.0, 0)
+        with pytest.raises(ValueError):
+            default_quality_model("segmentation")
+        with pytest.raises(KeyError):
+            reference_psnr("unknown-model")
+
+    def test_quantization_psnr(self):
+        assert quantization_psnr(31.99, 0.08) == pytest.approx(31.91)
+        with pytest.raises(ValueError):
+            quantization_psnr(30.0, -0.1)
+
+    def test_predicted_psnr_convenience(self):
+        assert predicted_psnr("sr4", 200.0, 36) > predicted_psnr("sr4", 50.0, 10)
+
+
+class TestSparsityModels:
+    def test_pruning_75_percent_costs_02_to_04_db(self):
+        drop = pruning_quality_drop(0.75)
+        assert 0.2 <= drop <= 0.45
+
+    def test_pruning_monotonic(self):
+        drops = [pruning_quality_drop(p) for p in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(b > a for a, b in zip(drops, drops[1:]))
+
+    def test_pruned_gain_can_go_negative(self):
+        assert pruned_psnr_gain(0.3, 0.95) < 0.0
+
+    def test_depthwise_savings_in_paper_range(self):
+        # The paper reports 52-75% savings for EDSR-baseline residual blocks.
+        saving = depthwise_savings(64)
+        assert 0.5 <= saving <= 0.95
+
+    def test_depthwise_quality_drop_range(self):
+        drops = [
+            depthwise_quality_drop(depthwise_savings(64), dataset, scale)
+            for dataset in ("Set5", "Set14", "BSD100", "Urban100")
+            for scale in (2, 4)
+        ]
+        assert 0.25 <= min(drops) <= 0.55
+        assert 0.9 <= max(drops) <= 1.35
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            pruning_quality_drop(1.0)
+        with pytest.raises(ValueError):
+            depthwise_quality_drop(-0.1)
+        with pytest.raises(KeyError):
+            pruning_quality_drop(0.5, dataset="ImageNet")
+
+
+class TestTrainingAndVision:
+    def test_training_stages(self):
+        assert set(TRAINING_SETTINGS) == {"scanning", "polish", "fine-tune"}
+        assert TRAINING_SETTINGS["scanning"].mini_batches < TRAINING_SETTINGS["polish"].mini_batches
+        assert training_stage("fine-tune").learning_rate < training_stage("polish").learning_rate
+        with pytest.raises(KeyError):
+            training_stage("warmup")
+
+    def test_recognition_network_scale(self):
+        net = build_recognition_network()
+        assert 3_000_000 < parameter_count(net) < 6_000_000
+        from repro.nn.network import iter_conv_layers
+        convs = sum(1 for _ in iter_conv_layers(net))
+        assert 35 <= convs <= 45
+
+    def test_style_transfer_network_channels_are_fbisa_compatible(self):
+        from repro.nn.network import iter_conv_layers
+
+        net = build_style_transfer_network()
+        for conv in iter_conv_layers(net):
+            assert conv.out_channels <= 128
+            assert conv.out_channels % 32 == 0 or conv.out_channels == 3
+
+    def test_vision_summaries(self):
+        assert STYLE_TRANSFER_SUMMARY.num_submodels == 2
+        assert RECOGNITION_SUMMARY.fps_on_ecnn == pytest.approx(1344.0)

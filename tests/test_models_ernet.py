@@ -1,0 +1,174 @@
+"""Tests for the ERNet model family: ERModule, builders and hyper-parameters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workloads import synthetic_image
+from repro.models.ermodule import (
+    ERModule,
+    chain_depth_margin,
+    er_chain,
+    expansion_ratios,
+    overall_expansion_ratio,
+)
+from repro.models.ernet import (
+    ERNetSpec,
+    PAPER_MODELS,
+    build_dnernet,
+    build_dnernet_12ch,
+    build_ernet,
+    build_sr2ernet,
+    build_sr4ernet,
+    paper_model,
+)
+from repro.models.complexity import kop_per_pixel, model_complexity, parameter_count
+from repro.nn.network import iter_conv_layers
+from repro.nn.tensor import FeatureMap
+
+
+class TestERModule:
+    def test_structure(self):
+        module = ERModule(32, 3)
+        convs = list(iter_conv_layers(module))
+        assert convs[0].kernel == 3 and convs[0].out_channels == 96
+        assert convs[1].kernel == 1 and convs[1].out_channels == 32
+        assert module.margin == 1
+
+    def test_forward_keeps_channels(self, rng):
+        module = ERModule(8, 2, seed=3)
+        fm = FeatureMap(rng.normal(size=(8, 10, 10)))
+        out = module.forward(fm)
+        assert out.shape == (8, 8, 8)
+
+    def test_macs_per_pixel(self):
+        module = ERModule(32, 4)
+        assert module.macs_per_output_pixel_total == 32 * 128 * 9 + 128 * 32
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ERModule(32, 0)
+        with pytest.raises(ValueError):
+            ERModule(0, 2)
+
+
+class TestExpansionRatios:
+    def test_incremented_modules_come_first(self):
+        assert expansion_ratios(4, 2, 1) == [3, 2, 2, 2]
+        assert expansion_ratios(3, 1, 0) == [1, 1, 1]
+
+    def test_overall_ratio_is_fractional(self):
+        assert overall_expansion_ratio(4, 2, 1) == pytest.approx(2.25)
+        assert overall_expansion_ratio(34, 4, 0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expansion_ratios(0, 1, 0)
+        with pytest.raises(ValueError):
+            expansion_ratios(3, 1, 4)
+        with pytest.raises(ValueError):
+            expansion_ratios(3, 0, 0)
+
+    def test_er_chain_length_and_margin(self):
+        chain = er_chain(16, 5, 2, 3, seed=1)
+        assert len(chain) == 5
+        assert [m.expansion for m in chain] == [3, 3, 3, 2, 2]
+        assert chain_depth_margin(5) == 5
+
+
+class TestERNetSpec:
+    def test_names_follow_paper_convention(self):
+        assert ERNetSpec("sr4", 34, 4, 0).name == "SR4ERNet-B34R4N0"
+        assert ERNetSpec("dn", 3, 1, 0).name == "DnERNet-B3R1N0"
+        assert ERNetSpec("dn12", 8, 2, 5).name == "DnERNet-12ch-B8R2N5"
+
+    def test_upscale_and_upsamplers(self):
+        assert ERNetSpec("sr4", 4, 1).upscale == 4
+        assert ERNetSpec("sr4", 4, 1).num_upsamplers == 2
+        assert ERNetSpec("sr2", 4, 1).num_upsamplers == 1
+        assert ERNetSpec("dn", 4, 1).num_upsamplers == 0
+
+    def test_invalid_task_and_ratio(self):
+        with pytest.raises(ValueError):
+            ERNetSpec("sr8", 4, 1)
+        with pytest.raises(ValueError):
+            ERNetSpec("sr4", 4, 1, incremented=5)
+
+    def test_paper_model_registry_complete(self):
+        for task, entries in PAPER_MODELS.items():
+            for spec_name in ("UHD30", "HD60", "HD30"):
+                spec = entries[spec_name]
+                assert spec.task == task
+        assert paper_model("dn", "UHD30").name == "DnERNet-B3R1N0"
+        assert paper_model("sr4", "HD30").name == "SR4ERNet-B34R4N0"
+        with pytest.raises(KeyError):
+            paper_model("sr4", "HD120")
+
+
+class TestBuilders:
+    def test_sr4_output_is_4x(self):
+        net = build_sr4ernet(2, 1, 0, seed=1)
+        image = synthetic_image(20, 24, seed=1)
+        out = net.forward(image)
+        # Valid-mode margins shrink the frame, but the upscale factor is 4.
+        assert net.upscale == 4
+        assert out.channels == 3
+        assert out.height > image.height
+
+    def test_sr2_output_is_2x(self):
+        net = build_sr2ernet(2, 1, 0, seed=2)
+        assert net.upscale == 2
+
+    def test_dn_output_matches_input_channels(self):
+        net = build_dnernet(3, 1, 0, seed=3)
+        image = synthetic_image(30, 30, seed=4)
+        out = net.forward(image)
+        assert out.channels == 3
+        assert out.height == 30 - 2 * net.margin
+
+    def test_dn12_uses_pixel_unshuffle(self):
+        net = build_dnernet_12ch(2, 2, 1, seed=5)
+        image = synthetic_image(40, 40, seed=6)
+        out = net.forward(image)
+        assert out.channels == 3
+        assert net.metadata["task"] == "dn12"
+
+    def test_deeper_models_have_more_parameters(self):
+        small = build_sr4ernet(4, 2, 0)
+        large = build_sr4ernet(16, 2, 0)
+        assert parameter_count(large) > parameter_count(small)
+
+    def test_higher_expansion_increases_complexity(self):
+        low = build_dnernet(4, 1, 0)
+        high = build_dnernet(4, 4, 0)
+        assert kop_per_pixel(high) > kop_per_pixel(low)
+
+    def test_metadata_records_hyper_parameters(self):
+        net = build_ernet(ERNetSpec("sr4", 17, 3, 1))
+        assert net.metadata["B"] == 17
+        assert net.metadata["R"] == 3
+        assert net.metadata["N"] == 1
+        assert net.metadata["expansion_ratio"] == pytest.approx(3 + 1 / 17)
+
+
+class TestPaperScaleComplexity:
+    def test_sr4_b34_is_comparable_to_srresnet_parameters(self):
+        # Section 5.2 quotes ~1479K parameters for SRResNet; the B34R4N0 ERNet
+        # that replaces it lands in the same range.
+        net = build_sr4ernet(34, 4, 0)
+        assert 1_200_000 < parameter_count(net) < 1_700_000
+
+    def test_hd30_model_fits_655_kop_budget(self):
+        net = build_sr4ernet(34, 4, 0)
+        report = model_complexity(net, 128)
+        assert report.effective_kop_per_pixel <= 655.0
+        assert report.ncr > 2.0
+
+    def test_uhd30_model_fits_164_kop_budget(self):
+        net = build_sr4ernet(17, 3, 1)
+        report = model_complexity(net, 128)
+        assert report.effective_kop_per_pixel <= 164.0
+
+    def test_dnernet_uhd30_fits_budget(self):
+        net = build_dnernet(3, 1, 0)
+        report = model_complexity(net, 128)
+        assert report.effective_kop_per_pixel <= 164.0

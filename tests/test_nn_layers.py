@@ -1,0 +1,141 @@
+"""Unit tests for convolution, activation and residual layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AddBias, ClippedReLU, Conv2d, ReLU, Residual
+from repro.nn.tensor import FeatureMap
+
+
+def _reference_conv3x3_valid(data, weights, bias):
+    """Naive direct convolution used to validate the im2col implementation."""
+    out_ch, in_ch, _, _ = weights.shape
+    _, h, w = data.shape
+    out = np.zeros((out_ch, h - 2, w - 2))
+    for oc in range(out_ch):
+        for y in range(h - 2):
+            for x in range(w - 2):
+                out[oc, y, x] = (
+                    np.sum(data[:, y : y + 3, x : x + 3] * weights[oc]) + bias[oc]
+                )
+    return out
+
+
+def test_conv3x3_valid_matches_naive_reference(rng):
+    conv = Conv2d(2, 3, 3, seed=11)
+    data = rng.normal(size=(2, 7, 9))
+    expected = _reference_conv3x3_valid(data, conv.weights, conv.bias)
+    result = conv.forward(FeatureMap(data))
+    assert result.shape == (3, 5, 7)
+    assert np.allclose(result.data, expected)
+
+
+def test_conv1x1_is_channel_mixing(rng):
+    conv = Conv2d(4, 2, 1, seed=3)
+    data = rng.normal(size=(4, 5, 6))
+    result = conv.forward(FeatureMap(data))
+    w = conv.weights.reshape(2, 4)
+    expected = np.einsum("oc,chw->ohw", w, data) + conv.bias[:, None, None]
+    assert np.allclose(result.data, expected)
+    assert result.shape == (2, 5, 6)
+
+
+def test_conv_zero_padding_preserves_size(rng):
+    conv = Conv2d(3, 3, 3, padding="zero", seed=1)
+    data = rng.normal(size=(3, 6, 6))
+    result = conv.forward(FeatureMap(data))
+    assert result.shape == (3, 6, 6)
+    # Zero padding matches valid convolution on a zero-padded input.
+    padded = np.pad(data, ((0, 0), (1, 1), (1, 1)))
+    valid = Conv2d(3, 3, 3, weights=conv.weights, bias=conv.bias)
+    assert np.allclose(result.data, valid.forward(FeatureMap(padded)).data)
+
+
+def test_conv_margin_and_parameters():
+    conv3 = Conv2d(8, 16, 3)
+    conv1 = Conv2d(16, 8, 1)
+    padded = Conv2d(8, 8, 3, padding="zero")
+    assert conv3.margin == 1
+    assert conv1.margin == 0
+    assert padded.margin == 0
+    assert conv3.num_parameters == 8 * 16 * 9 + 16
+    assert conv1.macs_per_output_pixel() == 16 * 8
+    assert conv3.macs_per_output_pixel() == 8 * 16 * 9
+
+
+def test_conv_rejects_invalid_configuration():
+    with pytest.raises(ValueError):
+        Conv2d(3, 3, 5)
+    with pytest.raises(ValueError):
+        Conv2d(3, 3, 3, padding="same")
+    with pytest.raises(ValueError):
+        Conv2d(0, 3, 3)
+    with pytest.raises(ValueError):
+        Conv2d(3, 3, 3, weights=np.zeros((3, 3, 3)))
+    with pytest.raises(ValueError):
+        Conv2d(3, 3, 3, bias=np.zeros(4))
+
+
+def test_conv_rejects_wrong_channel_count(rng):
+    conv = Conv2d(3, 4, 3)
+    with pytest.raises(ValueError):
+        conv.forward(FeatureMap(rng.normal(size=(2, 8, 8))))
+    with pytest.raises(ValueError):
+        conv.output_shape(2, 8, 8)
+
+
+def test_conv_too_small_input_raises():
+    conv = Conv2d(1, 1, 3)
+    with pytest.raises(ValueError):
+        conv.forward(FeatureMap(np.zeros((1, 2, 2))))
+
+
+def test_relu_and_clipped_relu():
+    data = np.array([[[-1.0, 0.5], [2.0, 7.0]]])
+    assert np.array_equal(
+        ReLU().forward(FeatureMap(data)).data, [[[0.0, 0.5], [2.0, 7.0]]]
+    )
+    assert np.array_equal(
+        ClippedReLU(2.0).forward(FeatureMap(data)).data, [[[0.0, 0.5], [2.0, 2.0]]]
+    )
+    with pytest.raises(ValueError):
+        ClippedReLU(0.0)
+
+
+def test_add_bias():
+    layer = AddBias([1.0, -1.0])
+    data = np.zeros((2, 2, 2))
+    out = layer.forward(FeatureMap(data))
+    assert np.allclose(out.data[0], 1.0)
+    assert np.allclose(out.data[1], -1.0)
+    with pytest.raises(ValueError):
+        layer.forward(FeatureMap(np.zeros((3, 2, 2))))
+
+
+def test_residual_adds_center_cropped_skip(rng):
+    body = [Conv2d(4, 4, 3, seed=2)]
+    res = Residual(body)
+    data = rng.normal(size=(4, 8, 8))
+    out = res.forward(FeatureMap(data))
+    body_out = body[0].forward(FeatureMap(data))
+    assert out.shape == (4, 6, 6)
+    assert np.allclose(out.data, body_out.data + data[:, 1:7, 1:7])
+
+
+def test_residual_margin_accumulates():
+    res = Residual([Conv2d(4, 8, 3), ReLU(), Conv2d(8, 4, 3)])
+    assert res.margin == 2
+    assert res.output_shape(4, 10, 10) == (4, 6, 6)
+
+
+def test_residual_rejects_channel_change():
+    res = Residual([Conv2d(4, 8, 3)])
+    with pytest.raises(ValueError):
+        res.output_shape(4, 10, 10)
+    with pytest.raises(ValueError):
+        res.forward(FeatureMap(np.zeros((4, 10, 10))))
+
+
+def test_residual_requires_body():
+    with pytest.raises(ValueError):
+        Residual([])

@@ -1,0 +1,112 @@
+"""Unit tests for Sequential / Network containers and receptive-field geometry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, ReLU, Residual
+from repro.nn.network import Network, Sequential, iter_conv_layers
+from repro.nn.ops import MaxPool2x2, PixelShuffle, PixelUnshuffle
+from repro.nn.receptive_field import (
+    network_receptive_field,
+    output_size_valid,
+    per_layer_sizes,
+    receptive_field,
+    required_input_size,
+)
+from repro.nn.tensor import FeatureMap
+
+
+def test_sequential_forward_and_shape(mixed_network, small_image):
+    out = mixed_network.forward(small_image)
+    c, h, w = mixed_network.output_shape(3, small_image.height, small_image.width)
+    assert out.shape == (c, h, w)
+
+
+def test_sequential_requires_layers():
+    with pytest.raises(ValueError):
+        Sequential([])
+
+
+def test_forward_trace_returns_all_intermediates(tiny_plain_network, small_image):
+    trace = tiny_plain_network.forward_trace(small_image)
+    assert len(trace) == len(tiny_plain_network.layers) + 1
+    assert trace[0] is small_image
+    assert trace[-1].shape == tiny_plain_network.output_shape(3, 48, 40)
+
+
+def test_network_metadata():
+    net = Network([Conv2d(3, 3, 3)], "demo", upscale=2, metadata={"k": 1})
+    assert net.upscale == 2
+    assert net.metadata["k"] == 1
+    assert "demo" in net.describe()
+    with pytest.raises(ValueError):
+        Network([Conv2d(3, 3, 3)], "bad", upscale=0)
+
+
+def test_iter_conv_layers_finds_nested_convs(mixed_network):
+    convs = list(iter_conv_layers(mixed_network))
+    assert len(convs) == 5
+    assert all(isinstance(conv, Conv2d) for conv in convs)
+
+
+def test_output_size_valid_plain_stack():
+    layers = [Conv2d(3, 8, 3), Conv2d(8, 8, 3), Conv2d(8, 3, 3)]
+    # xo = xi - 2 * D for a depth-3 plain stack
+    assert output_size_valid(20, layers) == 14
+    assert required_input_size(14, layers) == 20
+    assert receptive_field(layers) == 7
+
+
+def test_output_size_with_upsampler():
+    layers = [Conv2d(3, 12, 3), PixelShuffle(2), Conv2d(3, 3, 3)]
+    # (20 - 2) * 2 - 2 = 34
+    assert output_size_valid(20, layers) == 34
+    assert required_input_size(34, layers) == 20
+
+
+def test_output_size_with_downsampler():
+    layers = [Conv2d(3, 8, 3), MaxPool2x2(), Conv2d(8, 8, 3)]
+    # (20 - 2) / 2 - 2 = 7
+    assert output_size_valid(20, layers) == 7
+
+
+def test_output_size_raises_when_block_consumed():
+    layers = [Conv2d(3, 3, 3) for _ in range(5)]
+    with pytest.raises(ValueError):
+        output_size_valid(10, layers)
+
+
+def test_output_size_rejects_fractional_blocks():
+    layers = [MaxPool2x2()]
+    with pytest.raises(ValueError):
+        output_size_valid(9, layers)
+
+
+def test_per_layer_sizes_matches_pyramid():
+    layers = [Conv2d(3, 8, 3), Conv2d(8, 8, 3)]
+    assert per_layer_sizes(10, layers) == [10, 8, 6]
+
+
+def test_receptive_field_of_residual_network():
+    net = Sequential(
+        [
+            Conv2d(3, 8, 3),
+            Residual([Conv2d(8, 8, 3), ReLU(), Conv2d(8, 8, 3)]),
+            Conv2d(8, 3, 3),
+        ]
+    )
+    assert net.margin == 4
+    assert network_receptive_field(net) == 9
+
+
+def test_receptive_field_with_unshuffle():
+    layers = [PixelUnshuffle(2), Conv2d(12, 12, 3), PixelShuffle(2)]
+    # One output pixel needs a 2x-downsampled 3x3 window -> 6 input pixels + alignment.
+    assert receptive_field(layers) >= 5
+
+
+def test_shape_propagation_equals_execution(mixed_network, rng):
+    image = FeatureMap(rng.normal(size=(3, 32, 36)))
+    predicted = mixed_network.output_shape(3, 32, 36)
+    actual = mixed_network.forward(image).shape
+    assert predicted == actual

@@ -1,0 +1,100 @@
+"""Unit tests for pixel shuffle/unshuffle, pooling and padding operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.ops import (
+    MaxPool2x2,
+    PixelShuffle,
+    PixelUnshuffle,
+    StridedPool2x2,
+    ZeroPad,
+    crop_channels,
+    pad_channels,
+)
+from repro.nn.tensor import FeatureMap
+
+
+def test_pixel_shuffle_shapes():
+    shuffle = PixelShuffle(2)
+    assert shuffle.output_shape(12, 5, 7) == (3, 10, 14)
+    with pytest.raises(ValueError):
+        shuffle.output_shape(10, 5, 7)
+    with pytest.raises(ValueError):
+        PixelShuffle(1)
+
+
+def test_pixel_shuffle_rearranges_known_values():
+    # One output channel, 1x1 spatial input, factor 2: the four input channels
+    # become the 2x2 output neighbourhood in row-major order.
+    data = np.array([1.0, 2.0, 3.0, 4.0]).reshape(4, 1, 1)
+    out = PixelShuffle(2).forward(FeatureMap(data))
+    assert out.shape == (1, 2, 2)
+    assert np.array_equal(out.data[0], [[1.0, 2.0], [3.0, 4.0]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    channels=st.integers(1, 3),
+    height=st.integers(1, 6),
+    width=st.integers(1, 6),
+    factor=st.integers(2, 3),
+)
+def test_pixel_shuffle_unshuffle_round_trip(channels, height, width, factor):
+    rng = np.random.default_rng(channels * 100 + height * 10 + width)
+    data = rng.normal(size=(channels * factor * factor, height, width))
+    fm = FeatureMap(data)
+    shuffled = PixelShuffle(factor).forward(fm)
+    restored = PixelUnshuffle(factor).forward(shuffled)
+    assert np.allclose(restored.data, data)
+
+
+def test_pixel_unshuffle_requires_divisible_size():
+    with pytest.raises(ValueError):
+        PixelUnshuffle(2).forward(FeatureMap(np.zeros((1, 5, 4))))
+
+
+def test_strided_pool_keeps_top_left():
+    data = np.arange(16, dtype=float).reshape(1, 4, 4)
+    out = StridedPool2x2().forward(FeatureMap(data))
+    assert np.array_equal(out.data[0], [[0.0, 2.0], [8.0, 10.0]])
+
+
+def test_max_pool_takes_maximum():
+    data = np.arange(16, dtype=float).reshape(1, 4, 4)
+    out = MaxPool2x2().forward(FeatureMap(data))
+    assert np.array_equal(out.data[0], [[5.0, 7.0], [13.0, 15.0]])
+
+
+def test_pooling_requires_even_size():
+    with pytest.raises(ValueError):
+        MaxPool2x2().forward(FeatureMap(np.zeros((1, 3, 4))))
+    with pytest.raises(ValueError):
+        StridedPool2x2().forward(FeatureMap(np.zeros((1, 4, 5))))
+
+
+def test_zero_pad():
+    fm = FeatureMap(np.ones((1, 2, 2)))
+    out = ZeroPad(2).forward(fm)
+    assert out.shape == (1, 6, 6)
+    assert out.data[0, 0, 0] == 0.0
+    assert out.data[0, 2, 2] == 1.0
+    assert ZeroPad(0).forward(fm) is fm
+    with pytest.raises(ValueError):
+        ZeroPad(-1)
+
+
+def test_pad_and_crop_channels():
+    fm = FeatureMap(np.ones((3, 4, 4)))
+    padded = pad_channels(fm, 32)
+    assert padded.channels == 32
+    assert np.allclose(padded.data[:3], 1.0)
+    assert np.allclose(padded.data[3:], 0.0)
+    restored = crop_channels(padded, 3)
+    assert np.allclose(restored.data, fm.data)
+    assert pad_channels(fm, 3) is fm
+    with pytest.raises(ValueError):
+        pad_channels(fm, 2)
+    with pytest.raises(ValueError):
+        crop_channels(fm, 4)

@@ -1,0 +1,192 @@
+"""Unit and property tests for the dynamic fixed-point quantization package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.ernet import build_dnernet
+from repro.nn.layers import Conv2d
+from repro.nn.network import Sequential, iter_conv_layers
+from repro.nn.tensor import FeatureMap
+from repro.quant import (
+    QFormat,
+    mse,
+    optimal_fraction_bits,
+    psnr,
+    quantization_error,
+    quantize_network,
+    simulate_fine_tuning,
+)
+from repro.quant.quantize import apply_plan
+
+
+class TestQFormat:
+    def test_name_and_step(self):
+        assert QFormat(6).name == "Q6"
+        assert QFormat(4, signed=False).name == "UQ4"
+        assert QFormat(3).step == 0.125
+
+    def test_ranges_8bit(self):
+        q = QFormat(7, bits=8, signed=True)
+        assert q.min_code == -128 and q.max_code == 127
+        assert q.max_value == pytest.approx(127 / 128)
+        u = QFormat(8, bits=8, signed=False)
+        assert u.min_code == 0 and u.max_code == 255
+
+    def test_quantize_clips_and_rounds(self):
+        q = QFormat(6, bits=8)
+        values = np.array([0.0, 0.01, 1.5, 3.0, -5.0])
+        quantized = q.quantize(values)
+        assert quantized[0] == 0.0
+        assert abs(quantized[1] - 0.01) <= q.step / 2
+        assert quantized[3] == pytest.approx(q.max_value)
+        assert quantized[4] == pytest.approx(q.min_value)
+
+    def test_parse_round_trip(self):
+        assert QFormat.parse("Q5") == QFormat(5)
+        assert QFormat.parse("UQ3") == QFormat(3, signed=False)
+        with pytest.raises(ValueError):
+            QFormat.parse("X3")
+
+    def test_codes_out_of_range_rejected(self):
+        q = QFormat(0, bits=8)
+        with pytest.raises(ValueError):
+            q.codes_to_values(np.array([200]))
+
+    def test_minimum_bits(self):
+        with pytest.raises(ValueError):
+            QFormat(0, bits=1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        frac=st.integers(-2, 10),
+        values=st.lists(st.floats(-4, 4, allow_nan=False), min_size=1, max_size=50),
+    )
+    def test_quantization_error_bounded_by_half_lsb_in_range(self, frac, values):
+        q = QFormat(frac, bits=8)
+        arr = np.clip(np.asarray(values), q.min_value, q.max_value)
+        err = np.abs(arr - q.quantize(arr))
+        assert np.all(err <= q.step / 2 + 1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(codes=st.lists(st.integers(-128, 127), min_size=1, max_size=64))
+    def test_code_round_trip_is_exact(self, codes):
+        q = QFormat(5, bits=8)
+        arr = np.asarray(codes)
+        values = q.codes_to_values(arr)
+        assert np.array_equal(q.quantize_to_codes(values), arr)
+
+
+class TestPrecisionSearch:
+    def test_small_values_prefer_fine_fractions(self):
+        values = np.random.default_rng(0).normal(0, 0.01, 1000)
+        fmt = optimal_fraction_bits(values)
+        assert fmt.frac >= 10
+
+    def test_large_values_prefer_coarse_fractions(self):
+        values = np.random.default_rng(0).normal(0, 10.0, 1000)
+        fmt = optimal_fraction_bits(values)
+        assert fmt.frac <= 4
+
+    def test_l1_vs_l2_both_supported(self):
+        values = np.random.default_rng(1).normal(0, 0.3, 500)
+        l1 = optimal_fraction_bits(values, norm="l1")
+        l2 = optimal_fraction_bits(values, norm="l2")
+        assert abs(l1.frac - l2.frac) <= 2
+
+    def test_chosen_format_minimises_error(self):
+        values = np.random.default_rng(2).normal(0, 0.5, 300)
+        best = optimal_fraction_bits(values, norm="l2")
+        best_err = quantization_error(values, best, norm="l2")
+        for frac in range(-2, 12):
+            err = quantization_error(values, QFormat(frac), norm="l2")
+            assert best_err <= err + 1e-9
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_fraction_bits(np.array([]))
+
+    def test_bad_norm_rejected(self):
+        with pytest.raises(ValueError):
+            quantization_error(np.ones(3), QFormat(4), norm="l3")
+
+
+class TestNetworkQuantization:
+    def test_plan_covers_all_convs(self, tiny_ernet):
+        plan = quantize_network(tiny_ernet)
+        convs = sum(1 for _ in iter_conv_layers(tiny_ernet))
+        assert plan.num_layers == convs
+        assert plan.model_name == tiny_ernet.name
+
+    def test_plan_with_calibration_inputs(self, tiny_ernet, small_image):
+        plan = quantize_network(tiny_ernet, calibration_inputs=[small_image])
+        assert plan.num_layers > 0
+        # With real activations collected, output formats should not all be the
+        # generic default.
+        assert len({lq.output_format.name for lq in plan.layers}) >= 1
+
+    def test_apply_plan_quantizes_weights_in_place(self):
+        net = build_dnernet(2, 1, 0, seed=11)
+        plan = quantize_network(net)
+        apply_plan(net, plan)
+        for conv, lq in zip(
+            list(iter_conv_layers(net)),
+            plan.layers,
+        ):
+            assert np.allclose(conv.weights, lq.weight_format.quantize(conv.weights))
+
+    def test_quantized_network_output_close_to_float(self, small_image):
+        net = build_dnernet(2, 1, 0, seed=13)
+        reference = net.forward(small_image)
+        plan = quantize_network(net, calibration_inputs=[small_image])
+        apply_plan(net, plan)
+        quantized = net.forward(small_image)
+        assert psnr(reference.data, quantized.data, peak=float(np.abs(reference.data).max())) > 25.0
+
+    def test_network_without_convs_rejected(self):
+        from repro.nn.layers import ReLU
+
+        with pytest.raises(ValueError):
+            quantize_network(Sequential([ReLU()]))
+
+    def test_describe_lists_layers(self, tiny_ernet):
+        plan = quantize_network(tiny_ernet)
+        text = plan.describe()
+        assert "quantization plan" in text
+        assert plan.layers[0].layer_name in text
+
+
+class TestFineTuning:
+    def test_finetune_recovers_most_loss(self, tiny_ernet):
+        plan = quantize_network(tiny_ernet)
+        result = simulate_fine_tuning(plan)
+        assert result.final_loss_db <= result.initial_loss_db
+        assert 0.0 < result.final_loss_db <= 0.3
+        assert result.recovered_db >= 0.0
+
+    def test_lower_bits_increase_initial_loss(self, tiny_ernet):
+        plan = quantize_network(tiny_ernet)
+        loss8 = simulate_fine_tuning(plan, bits=8).initial_loss_db
+        loss6 = simulate_fine_tuning(plan, bits=6).initial_loss_db
+        assert loss6 > loss8
+
+    def test_deterministic_for_fixed_seed(self, tiny_ernet):
+        plan = quantize_network(tiny_ernet)
+        a = simulate_fine_tuning(plan, seed=4)
+        b = simulate_fine_tuning(plan, seed=4)
+        assert a == b
+
+
+class TestMetrics:
+    def test_psnr_infinite_for_identical(self):
+        data = np.random.default_rng(0).random((3, 8, 8))
+        assert psnr(data, data) == float("inf")
+
+    def test_psnr_known_value(self):
+        reference = np.zeros((1, 10, 10))
+        test = np.full((1, 10, 10), 0.1)
+        assert psnr(reference, test) == pytest.approx(20.0)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 2)))
