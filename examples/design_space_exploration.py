@@ -13,6 +13,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.report import format_table
+from repro.analysis.sweeps import parallel_sweep
 from repro.core.overheads import (
     block_buffer_bytes,
     block_size_for_buffer,
@@ -26,11 +27,19 @@ from repro.models.scanning import scan_models
 from repro.specs import COMPUTATION_CONSTRAINTS
 
 
+def _overheads_at(beta: float) -> tuple:
+    """Both Fig. 5a overhead curves at one sweep point (picklable for the pool)."""
+    return normalized_bandwidth_ratio(beta), normalized_computation_ratio(beta)
+
+
 def overhead_study() -> None:
+    # The sweep points are independent, so fan them across worker processes
+    # through the runtime's sweep engine — one pool evaluating both curves
+    # per point; the results are bit-identical to the serial sweep.
+    betas = (0.05, 0.1, 0.2, 0.3, 0.4)
     rows = [
-        (round(beta, 2), round(normalized_bandwidth_ratio(beta), 1),
-         round(normalized_computation_ratio(beta), 2))
-        for beta in (0.05, 0.1, 0.2, 0.3, 0.4)
+        (round(beta, 2), round(nbr, 1), round(ncr, 2))
+        for beta, (nbr, ncr) in parallel_sweep(betas, _overheads_at)
     ]
     print(format_table(
         "Truncated-pyramid overheads vs depth-input ratio (Fig. 5a)",

@@ -6,7 +6,8 @@ This example walks the whole public API in one page:
 2. run it on a synthetic noisy image with the block-based truncated-pyramid
    flow and check it matches frame-based execution exactly,
 3. compile it to a six-line FBISA program,
-4. ask the eCNN hardware model for throughput, power and DRAM requirements.
+4. ask the serving runtime for throughput, power and DRAM requirements
+   (computed once, answered from the content-addressed cache after).
 
 Run with::
 
@@ -20,9 +21,10 @@ import numpy as np
 from repro.analysis.workloads import add_gaussian_noise, synthetic_image
 from repro.core import BlockInferencePipeline
 from repro.fbisa import compile_network
-from repro.hw import evaluate_performance, power_report, dram_traffic, select_dram
+from repro.hw import select_dram
 from repro.models import build_dnernet
 from repro.quant import psnr
+from repro.runtime import ResultCache, ServingEngine
 from repro.specs import SPECIFICATIONS
 
 
@@ -51,17 +53,20 @@ def main() -> None:
     print("\nFBISA program:")
     print(compiled.program.listing())
 
-    # 4. Hardware cost at 4K UHD 30 fps.
+    # 4. Hardware cost at 4K UHD 30 fps, served through the runtime layer:
+    #    the engine compiles + characterizes the workload once and answers
+    #    every later query (here, the second analyze call) from its
+    #    content-addressed cache.
     spec = SPECIFICATIONS["UHD30"]
-    perf = evaluate_performance(network, spec)
-    power = power_report(
-        network.name, compiled.program, utilization=perf.realtime_utilization(spec.fps)
-    )
-    traffic = dram_traffic(network, spec)
-    print(f"\n{spec.name}: {perf.fps:.1f} fps "
-          f"({perf.inference_time_ms:.1f} ms/frame, budget {1000 / spec.fps:.1f} ms)")
-    print(f"processor power: {power.total:.2f} W")
-    print(f"DRAM: {traffic.total_gb_s:.2f} GB/s -> {select_dram(traffic.total_gb_s).name} is enough")
+    engine = ServingEngine(num_instances=1, cache=ResultCache())
+    profile = engine.analyze("denoise").profile
+    engine.analyze("denoise")  # repeated analytic query: a cache hit
+    print(f"\n{spec.name}: {profile.fps_capacity:.1f} fps "
+          f"({profile.frame_latency_s * 1e3:.1f} ms/frame, budget {1000 / spec.fps:.1f} ms)")
+    print(f"processor power: {profile.power_w:.2f} W")
+    print(f"DRAM: {profile.dram_gb_s:.2f} GB/s -> "
+          f"{select_dram(profile.dram_gb_s).name} is enough")
+    print(f"analytic cache: {engine.cache.stats.describe()}")
 
 
 if __name__ == "__main__":

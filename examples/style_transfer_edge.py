@@ -20,6 +20,7 @@ from repro.fbisa import compile_network
 from repro.hw.config import DEFAULT_CONFIG
 from repro.models.complexity import kop_per_pixel, parameter_count
 from repro.models.vision import STYLE_TRANSFER_SUMMARY, build_style_transfer_network
+from repro.runtime import ResultCache, ServingEngine
 from repro.specs import SPECIFICATIONS
 
 
@@ -53,6 +54,15 @@ def main() -> None:
         print(f"  {pieces} sub-model(s): NCR {plan.combined_ncr:5.2f}, "
               f"needs {required_tops:5.1f} TOPS for 30 fps, "
               f"sustains ~{fps:5.1f} fps, DRAM ~{dram_gb_s:4.2f} GB/s")
+
+    # The serving runtime charges exactly the two-sub-model execution per
+    # frame; its cached profile should agree with the split row above.
+    engine = ServingEngine(num_instances=1, cache=ResultCache())
+    profile = engine.profile("style_transfer")
+    print(f"\nruntime serving profile: {profile.fps_capacity:.1f} fps capacity, "
+          f"{profile.frame_latency_s * 1e3:.1f} ms/frame, "
+          f"{profile.dram_gb_s:.2f} GB/s, {profile.power_w:.2f} W "
+          f"(cache: {engine.cache.stats.describe()})")
 
     print(f"\npaper reference: {STYLE_TRANSFER_SUMMARY.fps_on_ecnn} fps at "
           f"{STYLE_TRANSFER_SUMMARY.dram_bandwidth_gb_s} GB/s with "

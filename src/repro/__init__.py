@@ -25,6 +25,10 @@ Subpackages
 ``repro.analysis``
     Workload generators, sweeps and report formatting used by the benchmark
     harness.
+``repro.runtime``
+    Multi-scenario serving layer: request batching across simulated eCNN
+    instances, a content-addressed analytic-result cache, process-parallel
+    design-space sweeps and the ``python -m repro.runtime`` traffic CLI.
 """
 
 __version__ = "1.0.0"

@@ -1,8 +1,15 @@
-"""Parameter sweep helper used by figure-style benchmarks."""
+"""Parameter sweep helpers used by figure-style benchmarks.
+
+:func:`sweep` is the serial reference; :func:`parallel_sweep` routes the same
+contract through the runtime's process-parallel engine
+(:class:`repro.runtime.sweep.ParallelSweep`), which returns bit-identical
+pairs because every point runs the same function on the same value and
+result order is preserved.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 X = TypeVar("X")
 Y = TypeVar("Y")
@@ -15,3 +22,19 @@ def sweep(values: Sequence[X], function: Callable[[X], Y]) -> List[Tuple[X, Y]]:
     of the model under test.
     """
     return [(value, function(value)) for value in values]
+
+
+def parallel_sweep(
+    values: Sequence[X],
+    function: Callable[[X], Y],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[Tuple[X, Y]]:
+    """:func:`sweep` fanned across worker processes (same result, faster).
+
+    Functions that cannot cross a process boundary (lambdas, closures) fall
+    back to the serial path transparently.
+    """
+    from repro.runtime.sweep import ParallelSweep
+
+    return ParallelSweep(max_workers=max_workers).run(values, function)

@@ -1,0 +1,73 @@
+"""Multi-scenario serving runtime on top of the eCNN simulator.
+
+The paper's processor sustains real-time rates on single workloads; this
+subpackage turns the repository's analytic models into a serving engine that
+handles many streams at once — the deployment the edge box actually faces.
+
+Modules
+-------
+* :mod:`repro.runtime.cache` — content-addressed result cache for analytic
+  queries (keyed on network spec + hardware config + input geometry);
+* :mod:`repro.runtime.workloads` — the serving catalogue: denoise, 4x
+  super-resolution, style transfer and recognition, each with a cached
+  per-frame profile;
+* :mod:`repro.runtime.scheduler` — request queue, deterministic batching and
+  placement across simulated eCNN instances with per-stream FPS accounting;
+* :mod:`repro.runtime.trace` — replayable traffic traces (``demo``,
+  ``burst``, ``steady``);
+* :mod:`repro.runtime.engine` — the :class:`~repro.runtime.engine.ServingEngine`
+  front door tying queue, scheduler and cache together;
+* :mod:`repro.runtime.sweep` — process-parallel design-space sweeps,
+  bit-identical to :func:`repro.analysis.sweeps.sweep`;
+* :mod:`repro.runtime.cli` — ``python -m repro.runtime --trace demo``.
+"""
+
+from repro.runtime.cache import CacheStats, DEFAULT_CACHE, ResultCache, fingerprint
+from repro.runtime.engine import ServingEngine, ServingReport, WorkloadAnalytics
+from repro.runtime.scheduler import (
+    Batch,
+    InferenceRequest,
+    RequestQueue,
+    RequestRecord,
+    ScheduleResult,
+    Scheduler,
+    StreamStats,
+    form_batches,
+)
+from repro.runtime.sweep import ParallelSweep
+from repro.runtime.trace import TRACES, TraceEvent, TrafficTrace, trace
+from repro.runtime.workloads import (
+    WORKLOADS,
+    RuntimeWorkload,
+    WorkloadProfile,
+    register_workload,
+    workload,
+)
+
+__all__ = [
+    "Batch",
+    "CacheStats",
+    "DEFAULT_CACHE",
+    "InferenceRequest",
+    "ParallelSweep",
+    "RequestQueue",
+    "RequestRecord",
+    "ResultCache",
+    "RuntimeWorkload",
+    "ScheduleResult",
+    "Scheduler",
+    "ServingEngine",
+    "ServingReport",
+    "StreamStats",
+    "TRACES",
+    "TraceEvent",
+    "TrafficTrace",
+    "WORKLOADS",
+    "WorkloadAnalytics",
+    "WorkloadProfile",
+    "fingerprint",
+    "form_batches",
+    "register_workload",
+    "trace",
+    "workload",
+]

@@ -1,0 +1,201 @@
+"""The serving engine: queue + scheduler + content-addressed cache.
+
+:class:`ServingEngine` is the runtime's front door.  Requests are admitted
+per stream, traces replay into the queue, and :meth:`ServingEngine.run`
+drains everything through the batching scheduler over the configured number
+of simulated eCNN instances.  All analytic questions — the per-workload
+serving profile the scheduler charges time from, and the deeper layer-timing
+/ DRAM / area / power queries :meth:`ServingEngine.analyze` answers — go
+through one :class:`~repro.runtime.cache.ResultCache`, so a workload is
+compiled and characterized once no matter how many batches or reports ask.
+
+For pixel-level serving (functional results, not just timing),
+:meth:`ServingEngine.execute_frame` runs one frame through the block-based
+truncated-pyramid flow of :class:`repro.core.pipeline.BlockInferencePipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.pipeline import InferenceResult
+from repro.fbisa.compiler import compile_network
+from repro.hw.area_power import AreaReport, area_report
+from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
+from repro.hw.processor import EcnnProcessor
+from repro.nn.tensor import FeatureMap
+from repro.runtime.cache import CacheStats, DEFAULT_CACHE, ResultCache
+from repro.runtime.scheduler import RequestQueue, ScheduleResult, Scheduler
+from repro.runtime.trace import TrafficTrace
+from repro.runtime.workloads import WORKLOADS, RuntimeWorkload, WorkloadProfile, workload
+
+
+@dataclass(frozen=True)
+class WorkloadAnalytics:
+    """Deep analytic answers for one workload (all cache-resident)."""
+
+    workload: str
+    model_name: str
+    profile: WorkloadProfile
+    #: Per-instruction (label, CIU cycles, IDU cycles) — the layer timing.
+    layer_timing: Tuple[Tuple[str, int, int], ...]
+    area: AreaReport
+
+    @property
+    def cycles_per_block(self) -> int:
+        return sum(max(ciu, 0) for _, ciu, _ in self.layer_timing)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of one :meth:`ServingEngine.run`: schedule plus cache stats."""
+
+    schedule: ScheduleResult
+    cache: CacheStats
+
+    def render(self) -> str:
+        """The CLI's throughput/latency report."""
+        schedule = self.schedule
+        streams = format_table(
+            "Per-stream serving report",
+            ["stream", "workload(s)", "requests", "frames", "fps", "mean latency (ms)", "max latency (ms)"],
+            [
+                (
+                    stats.stream_id,
+                    "+".join(stats.workloads),
+                    stats.requests,
+                    stats.frames,
+                    round(stats.fps, 2),
+                    round(stats.mean_latency_s * 1e3, 2),
+                    round(stats.max_latency_s * 1e3, 2),
+                )
+                for stats in schedule.stream_stats().values()
+            ],
+        )
+        instances = format_table(
+            "Instance utilization",
+            ["instance", "busy (ms)", "utilization"],
+            [
+                (index, round(schedule.instance_busy_s[index] * 1e3, 2),
+                 f"{schedule.utilization(index):.0%}")
+                for index in range(schedule.num_instances)
+            ],
+        )
+        summary = (
+            f"served {schedule.total_frames} frames in {len(schedule.batches)} batches "
+            f"on {schedule.num_instances} instance(s); "
+            f"makespan {schedule.makespan_s * 1e3:.2f} ms, "
+            f"aggregate {schedule.throughput_fps:.1f} fps\n"
+            f"analytic cache: {self.cache.describe()}"
+        )
+        return "\n\n".join([streams, instances, summary])
+
+
+class ServingEngine:
+    """Serve catalogue workloads on a pool of simulated eCNN instances.
+
+    Parameters
+    ----------
+    num_instances:
+        Simulated eCNN processors serving in parallel.
+    max_batch_frames:
+        Scheduler batch budget (see :class:`~repro.runtime.scheduler.Scheduler`).
+    config:
+        Hardware configuration shared by all instances.
+    cache:
+        Result cache; defaults to the process-wide
+        :data:`~repro.runtime.cache.DEFAULT_CACHE`.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_instances: int = 2,
+        max_batch_frames: int = 8,
+        config: EcnnConfig = DEFAULT_CONFIG,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else DEFAULT_CACHE
+        self.queue = RequestQueue()
+        self.scheduler = Scheduler(
+            self.profile,
+            num_instances=num_instances,
+            max_batch_frames=max_batch_frames,
+        )
+        self._pipelines: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ admission
+    def submit(
+        self, stream_id: str, workload_name: str, *, frames: int = 1, arrival_s: float = 0.0
+    ) -> None:
+        """Admit one request (validates the workload name)."""
+        workload(workload_name)
+        self.queue.submit(stream_id, workload_name, frames=frames, arrival_s=arrival_s)
+
+    def play(self, trace: TrafficTrace) -> int:
+        """Replay a traffic trace into the queue; returns requests admitted."""
+        for event in trace.events:
+            workload(event.workload)
+        return trace.submit_to(self.queue)
+
+    # ------------------------------------------------------------------ serving
+    def run(self) -> ServingReport:
+        """Drain the queue through the scheduler and report."""
+        schedule = self.scheduler.run(self.queue.drain())
+        return ServingReport(schedule=schedule, cache=self.cache.stats)
+
+    # ------------------------------------------------------------------ analytics
+    def profile(self, workload_name: str) -> WorkloadProfile:
+        """Cached serving profile of a catalogue workload."""
+        return workload(workload_name).profile(config=self.config, cache=self.cache)
+
+    def analyze(self, workload_name: str) -> WorkloadAnalytics:
+        """Cached deep analytics: layer timing, DRAM, area and power."""
+        entry = workload(workload_name)
+        key = ResultCache.key("workload-analytics", entry.cache_key(self.config))
+        return self.cache.get_or_compute(key, lambda: self._compute_analytics(entry))
+
+    def _compute_analytics(self, entry: RuntimeWorkload) -> WorkloadAnalytics:
+        network = entry.build_network()
+        config, block = entry.evaluation_context(network, self.config)
+        compiled = compile_network(network, input_block=block)
+        processor = EcnnProcessor(config)
+        processor.load(compiled)
+        report = processor.block_report()
+        timing = tuple(
+            (
+                instruction.label or instruction.opcode.value,
+                report.ciu_cycles_per_instruction[index],
+                report.idu_cycles_per_instruction[index],
+            )
+            for index, instruction in enumerate(compiled.program)
+        )
+        return WorkloadAnalytics(
+            workload=entry.name,
+            model_name=network.name,
+            profile=entry.profile(config=self.config, cache=self.cache),
+            layer_timing=timing,
+            area=area_report(config),
+        )
+
+    # ------------------------------------------------------------------ pixels
+    def execute_frame(self, workload_name: str, image: FeatureMap) -> InferenceResult:
+        """Run one frame of pixels through the block-based flow.
+
+        The per-workload :class:`~repro.core.pipeline.BlockInferencePipeline`
+        is built once and reused; only block-flow workloads (not recognition)
+        support this path.
+        """
+        entry = workload(workload_name)
+        pipeline = self._pipelines.get(workload_name)
+        if pipeline is None:
+            pipeline = entry.pipeline()
+            self._pipelines[workload_name] = pipeline
+        return pipeline.run(image)
+
+    def catalogue(self) -> Dict[str, str]:
+        """Name -> description of the servable workloads."""
+        return {name: entry.description for name, entry in sorted(WORKLOADS.items())}

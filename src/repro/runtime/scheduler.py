@@ -1,0 +1,290 @@
+"""Request queue and batching scheduler over simulated eCNN instances.
+
+The serving model: inference requests arrive on named streams (a camera, a
+TV upscaler, ...), each asking for some frames of one catalogue workload.
+The scheduler groups compatible requests into batches — one model load then
+many frames, amortizing the parameter-decode step of Fig. 12 — and places
+batches onto the earliest-free of ``num_instances`` simulated eCNN
+processors.  Time is analytic: a frame occupies an instance for the
+workload's :attr:`~repro.runtime.workloads.WorkloadProfile.frame_latency_s`
+and switching workloads charges the profile's parameter-load time.
+
+Everything is deterministic: requests order by (arrival, sequence number),
+batches form greedily in that order, and instance ties break by index — the
+same trace always produces the same schedule, which is what the regression
+tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.runtime.workloads import WorkloadProfile
+
+#: Source of per-workload profiles: a mapping or a ``name -> profile`` callable.
+ProfileSource = Union[Mapping[str, WorkloadProfile], Callable[[str], WorkloadProfile]]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One serving request: ``frames`` frames of ``workload`` on a stream."""
+
+    seq: int
+    stream_id: str
+    workload: str
+    frames: int
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ValueError("a request must ask for at least one frame")
+        if self.arrival_s < 0:
+            raise ValueError("arrival time cannot be negative")
+
+
+class RequestQueue:
+    """FIFO admission queue assigning globally-ordered sequence numbers."""
+
+    def __init__(self) -> None:
+        self._pending: List[InferenceRequest] = []
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self, stream_id: str, workload: str, *, frames: int = 1, arrival_s: float = 0.0
+    ) -> InferenceRequest:
+        """Admit a request; returns the queued record."""
+        request = InferenceRequest(
+            seq=self._next_seq,
+            stream_id=stream_id,
+            workload=workload,
+            frames=frames,
+            arrival_s=arrival_s,
+        )
+        self._next_seq += 1
+        self._pending.append(request)
+        return request
+
+    def drain(self) -> List[InferenceRequest]:
+        """Remove and return all pending requests in (arrival, seq) order."""
+        requests = sorted(self._pending, key=lambda r: (r.arrival_s, r.seq))
+        self._pending.clear()
+        return requests
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Requests of one workload served back-to-back under one model load."""
+
+    workload: str
+    requests: Tuple[InferenceRequest, ...]
+
+    @property
+    def frames(self) -> int:
+        return sum(request.frames for request in self.requests)
+
+    @property
+    def ready_s(self) -> float:
+        """A batch starts once its last member has arrived."""
+        return max(request.arrival_s for request in self.requests)
+
+
+def form_batches(
+    requests: Sequence[InferenceRequest], *, max_batch_frames: int = 8
+) -> List[Batch]:
+    """Group ordered requests into per-workload batches.
+
+    Requests are visited in (arrival, seq) order; each joins the open batch
+    of its workload unless that would exceed ``max_batch_frames``, in which
+    case the open batch is sealed and a new one starts.  Batches are emitted
+    ordered by their first member's (arrival, seq), so batch order is a pure
+    function of the request order.
+    """
+    if max_batch_frames < 1:
+        raise ValueError("max_batch_frames must be positive")
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.seq))
+    sealed: List[Tuple[Tuple[float, int], Batch]] = []
+    open_batches: Dict[str, List[InferenceRequest]] = {}
+
+    def seal(members: List[InferenceRequest]) -> None:
+        first = members[0]
+        sealed.append(((first.arrival_s, first.seq), Batch(first.workload, tuple(members))))
+
+    for request in ordered:
+        members = open_batches.get(request.workload)
+        if members is not None and (
+            sum(m.frames for m in members) + request.frames > max_batch_frames
+        ):
+            seal(members)
+            members = None
+        if members is None:
+            open_batches[request.workload] = [request]
+        else:
+            members.append(request)
+    for members in open_batches.values():
+        seal(members)
+    sealed.sort(key=lambda item: item[0])
+    return [batch for _, batch in sealed]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timing of one served request."""
+
+    request: InferenceRequest
+    instance: int
+    start_s: float
+    completion_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-last-frame latency."""
+        return self.completion_s - self.request.arrival_s
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Per-stream serving statistics (the per-stream FPS accounting)."""
+
+    stream_id: str
+    workloads: Tuple[str, ...]
+    requests: int
+    frames: int
+    first_arrival_s: float
+    last_completion_s: float
+    mean_latency_s: float
+    max_latency_s: float
+
+    @property
+    def span_s(self) -> float:
+        return self.last_completion_s - self.first_arrival_s
+
+    @property
+    def fps(self) -> float:
+        """Frames delivered per second of stream wall time."""
+        return self.frames / self.span_s
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """The complete outcome of scheduling one drained queue."""
+
+    records: Tuple[RequestRecord, ...]
+    batches: Tuple[Batch, ...]
+    num_instances: int
+    instance_busy_s: Tuple[float, ...]
+
+    @property
+    def makespan_s(self) -> float:
+        return max((record.completion_s for record in self.records), default=0.0)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(record.request.frames for record in self.records)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate frames per second across all instances."""
+        makespan = self.makespan_s
+        return self.total_frames / makespan if makespan else 0.0
+
+    def utilization(self, instance: int) -> float:
+        makespan = self.makespan_s
+        return self.instance_busy_s[instance] / makespan if makespan else 0.0
+
+    def stream_stats(self) -> Dict[str, StreamStats]:
+        """Per-stream FPS/latency, keyed by stream id (sorted iteration order)."""
+        by_stream: Dict[str, List[RequestRecord]] = {}
+        for record in self.records:
+            by_stream.setdefault(record.request.stream_id, []).append(record)
+        stats: Dict[str, StreamStats] = {}
+        for stream_id in sorted(by_stream):
+            records = by_stream[stream_id]
+            latencies = [record.latency_s for record in records]
+            stats[stream_id] = StreamStats(
+                stream_id=stream_id,
+                workloads=tuple(sorted({r.request.workload for r in records})),
+                requests=len(records),
+                frames=sum(r.request.frames for r in records),
+                first_arrival_s=min(r.request.arrival_s for r in records),
+                last_completion_s=max(r.completion_s for r in records),
+                mean_latency_s=sum(latencies) / len(latencies),
+                max_latency_s=max(latencies),
+            )
+        return stats
+
+
+@dataclass
+class _Instance:
+    """Mutable dispatch state of one simulated eCNN processor."""
+
+    index: int
+    free_at_s: float = 0.0
+    loaded: Optional[str] = None
+    busy_s: float = 0.0
+
+
+class Scheduler:
+    """Batch requests and place them on ``num_instances`` eCNN processors.
+
+    Parameters
+    ----------
+    profiles:
+        Per-workload serving profiles — a mapping or a callable; the serving
+        engine passes its cached catalogue lookup here.
+    num_instances:
+        Simulated processors serving in parallel.
+    max_batch_frames:
+        Frame budget per batch; bounds how long one stream can monopolize an
+        instance before others get a turn.
+    """
+
+    def __init__(
+        self,
+        profiles: ProfileSource,
+        *,
+        num_instances: int = 1,
+        max_batch_frames: int = 8,
+    ) -> None:
+        if num_instances < 1:
+            raise ValueError("need at least one instance")
+        self._profile_for: Callable[[str], WorkloadProfile] = (
+            profiles.__getitem__ if isinstance(profiles, Mapping) else profiles
+        )
+        self.num_instances = num_instances
+        self.max_batch_frames = max_batch_frames
+
+    def run(self, requests: Sequence[InferenceRequest]) -> ScheduleResult:
+        """Schedule ``requests`` and return the full timing record."""
+        batches = form_batches(requests, max_batch_frames=self.max_batch_frames)
+        instances = [_Instance(index) for index in range(self.num_instances)]
+        records: List[RequestRecord] = []
+        for batch in batches:
+            profile = self._profile_for(batch.workload)
+            instance = min(instances, key=lambda i: (i.free_at_s, i.index))
+            start = max(instance.free_at_s, batch.ready_s)
+            cursor = start
+            if instance.loaded != batch.workload:
+                cursor += profile.load_time_s
+                instance.loaded = batch.workload
+            for request in batch.requests:
+                cursor += request.frames * profile.frame_latency_s
+                records.append(
+                    RequestRecord(
+                        request=request,
+                        instance=instance.index,
+                        start_s=start,
+                        completion_s=cursor,
+                    )
+                )
+            instance.busy_s += cursor - start
+            instance.free_at_s = cursor
+        return ScheduleResult(
+            records=tuple(records),
+            batches=tuple(batches),
+            num_instances=self.num_instances,
+            instance_busy_s=tuple(instance.busy_s for instance in instances),
+        )

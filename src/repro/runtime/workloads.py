@@ -1,0 +1,301 @@
+"""Serving-side workload catalogue (the four deployment scenarios).
+
+The paper's evaluation covers computational imaging (denoising and
+super-resolution, Section 7.2) and two vision case studies (style transfer
+and object recognition, Section 7.3).  The runtime serves all four as named
+workloads; each knows how to build its network, derive its real-time
+specification and produce a :class:`WorkloadProfile` — the per-frame latency,
+bandwidth and power figures the scheduler charges per request.  Profiles are
+analytic (built on :mod:`repro.hw.performance` and the processor timing
+model), so 4K frames cost nothing to account for, and they are cached
+content-addressed in a :class:`~repro.runtime.cache.ResultCache` because
+every batch of the same workload asks the same question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.partition import partition_into_submodels
+from repro.core.pipeline import BlockInferencePipeline
+from repro.fbisa.compiler import CompiledModel, compile_network
+from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
+from repro.hw.dram import dram_traffic, select_dram
+from repro.hw.area_power import power_report
+from repro.hw.performance import evaluate_performance, recommended_input_block
+from repro.hw.processor import EcnnProcessor
+from repro.models.complexity import kop_per_pixel
+from repro.models.ernet import PAPER_MODELS, build_ernet
+from repro.models.vision import build_recognition_network, build_style_transfer_network
+from repro.nn.network import Network
+from repro.runtime.cache import DEFAULT_CACHE, ResultCache
+from repro.specs import SPECIFICATIONS, RealTimeSpec
+
+#: Operating point of the recognition case study: one 224x224 image per
+#: "frame", served as a single zero-padded block (Section 7.3).
+RECOGNITION_SPEC = RealTimeSpec("IMG224", 224, 224, 30.0)
+
+#: Block-overlap factor and split-point traffic of the two-sub-model style
+#: transfer execution (matches the Section 7.3 benchmark).
+_STYLE_OVERLAP = 1.35
+_STYLE_IMAGE_BYTES_PER_PIXEL = 6.0
+#: CIU utilization charged to the vision case studies (analytic estimate).
+_VISION_UTILIZATION = 0.85
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-frame serving figures of one workload on one eCNN instance."""
+
+    workload: str
+    model_name: str
+    spec_name: str
+    #: Time one output frame occupies the instance, seconds.
+    frame_latency_s: float
+    #: DRAM bandwidth while streaming this workload, GB/s.
+    dram_gb_s: float
+    #: Processor power while streaming this workload, watts.
+    power_w: float
+    #: Time to (re)load the model's parameter bitstreams, charged when an
+    #: instance switches workloads (Fig. 12's one-time decode step).
+    load_time_s: float
+
+    @property
+    def fps_capacity(self) -> float:
+        """Frames per second one dedicated instance sustains."""
+        return 1.0 / self.frame_latency_s
+
+
+@dataclass(frozen=True)
+class RuntimeWorkload:
+    """A named serving scenario: model builder + operating point + profiler.
+
+    ``kind`` selects the evaluation path: ``"ernet"`` uses the frame-level
+    performance model directly, ``"style_transfer"`` uses the two-sub-model
+    split execution and ``"recognition"`` the single-block zero-padded path.
+    """
+
+    name: str
+    description: str
+    kind: str
+    spec_name: str
+    task: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ernet", "style_transfer", "recognition"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.kind == "ernet" and self.task not in PAPER_MODELS:
+            raise ValueError(f"ernet workload needs a task in {sorted(PAPER_MODELS)}")
+
+    @property
+    def spec(self) -> RealTimeSpec:
+        if self.kind == "recognition":
+            return RECOGNITION_SPEC
+        return SPECIFICATIONS[self.spec_name]
+
+    def build_network(self) -> Network:
+        if self.kind == "ernet":
+            assert self.task is not None
+            return build_ernet(PAPER_MODELS[self.task][self.spec_name])
+        if self.kind == "style_transfer":
+            return build_style_transfer_network()
+        return build_recognition_network()
+
+    def pipeline(self, *, input_block: Optional[int] = None) -> BlockInferencePipeline:
+        """A pixel-level block-flow pipeline for this workload's network.
+
+        Recognition runs whole images as single zero-padded blocks, not the
+        truncated pyramid, so it has no block pipeline.
+        """
+        if self.kind == "recognition":
+            raise ValueError("recognition serves single zero-padded blocks, not block flow")
+        network = self.build_network()
+        block = input_block or recommended_input_block(network)
+        return BlockInferencePipeline(network, input_block=block)
+
+    def evaluation_context(self, network: Network, config: EcnnConfig) -> tuple:
+        """Hardware config and input block this workload is evaluated under.
+
+        Single source of truth shared by the profile paths and the engine's
+        deep analytics: recognition triples the parameter memory and runs
+        whole images as one block, style transfer compiles at the nominal
+        128 block, and ERNets use the block their buffers are sized for.
+        """
+        if self.kind == "recognition":
+            scaled = config.with_parameter_memory(3 * config.parameter_memory_kb)
+            return scaled, self.spec.width
+        if self.kind == "style_transfer":
+            return config, 128
+        return config, recommended_input_block(network, config)
+
+    def cache_key(self, config: EcnnConfig) -> str:
+        """Content address of this workload's profile under ``config``."""
+        model_identity = (
+            PAPER_MODELS[self.task][self.spec_name]
+            if self.kind == "ernet"
+            else (self.kind, "seed", 0)
+        )
+        return ResultCache.key("workload-profile", self.name, self.kind, model_identity, config, self.spec)
+
+    def profile(
+        self,
+        *,
+        config: EcnnConfig = DEFAULT_CONFIG,
+        cache: Optional[ResultCache] = None,
+    ) -> WorkloadProfile:
+        """The (cached) serving profile of this workload."""
+        cache = cache if cache is not None else DEFAULT_CACHE
+        return cache.get_or_compute(self.cache_key(config), lambda: self._compute_profile(config))
+
+    def _compute_profile(self, config: EcnnConfig) -> WorkloadProfile:
+        if self.kind == "ernet":
+            return self._profile_ernet(config)
+        if self.kind == "style_transfer":
+            return self._profile_style_transfer(config)
+        return self._profile_recognition(config)
+
+    def _profile_ernet(self, config: EcnnConfig) -> WorkloadProfile:
+        spec = self.spec
+        network = self.build_network()
+        _, block = self.evaluation_context(network, config)
+        compiled = compile_network(network, input_block=block)
+        perf = evaluate_performance(network, spec, config=config, input_block=block, compiled=compiled)
+        power = power_report(
+            network.name,
+            compiled.program,
+            utilization=perf.realtime_utilization(spec.fps),
+            config=config,
+        )
+        traffic = dram_traffic(network, spec)
+        return WorkloadProfile(
+            workload=self.name,
+            model_name=network.name,
+            spec_name=spec.name,
+            frame_latency_s=perf.frame_time_s,
+            dram_gb_s=traffic.total_gb_s,
+            power_w=power.total,
+            load_time_s=_parameter_load_time_s(compiled, traffic.total_gb_s),
+        )
+
+    def _profile_style_transfer(self, config: EcnnConfig) -> WorkloadProfile:
+        # Two-sub-model split execution (Section 7.3): the single-model
+        # pyramid's NCR explodes because of the two downsamplers, so the
+        # combined NCR of the split against the compute budget sets the rate.
+        spec = self.spec
+        network = self.build_network()
+        plan = partition_into_submodels(network, 2, 128)
+        tops_per_frame = (
+            kop_per_pixel(network) * 1e3 * plan.combined_ncr * spec.pixels_per_frame / 1e12
+        )
+        fps = config.peak_tops * _VISION_UTILIZATION / tops_per_frame
+        dram_gb_s = (
+            (_STYLE_IMAGE_BYTES_PER_PIXEL * _STYLE_OVERLAP + plan.extra_dram_bytes_per_pixel)
+            * spec.pixel_rate
+            / 1e9
+        )
+        _, block = self.evaluation_context(network, config)
+        compiled = compile_network(network, input_block=block)
+        power = power_report(
+            network.name, compiled.program, utilization=_VISION_UTILIZATION, config=config
+        )
+        return WorkloadProfile(
+            workload=self.name,
+            model_name=network.name,
+            spec_name=spec.name,
+            frame_latency_s=1.0 / fps,
+            dram_gb_s=dram_gb_s,
+            power_w=power.total,
+            load_time_s=_parameter_load_time_s(compiled, dram_gb_s),
+        )
+
+    def _profile_recognition(self, config: EcnnConfig) -> WorkloadProfile:
+        # One 224x224 image is one zero-padded block; the parameter memory is
+        # tripled as in the Section 7.3 case study so the 5M parameters fit.
+        spec = self.spec
+        network = self.build_network()
+        scaled, block = self.evaluation_context(network, config)
+        compiled = compile_network(network, input_block=block)
+        processor = EcnnProcessor(scaled)
+        processor.load(compiled)
+        cycles = processor.block_report().pipelined_cycles
+        fps = scaled.clock_hz / cycles
+        bytes_per_image = spec.pixels_per_frame * 3 + 128 * 7 * 7
+        dram_gb_s = bytes_per_image * fps / 1e9
+        power = power_report(
+            network.name, compiled.program, utilization=_VISION_UTILIZATION, config=scaled
+        )
+        return WorkloadProfile(
+            workload=self.name,
+            model_name=network.name,
+            spec_name=spec.name,
+            frame_latency_s=1.0 / fps,
+            dram_gb_s=dram_gb_s,
+            power_w=power.total,
+            load_time_s=_parameter_load_time_s(compiled, dram_gb_s),
+        )
+
+
+def _parameter_load_time_s(compiled: CompiledModel, streaming_gb_s: float) -> float:
+    """Time to stream the parameter bitstreams in over the selected DRAM."""
+    parameter_bytes = compiled.program.total_weights + compiled.program.total_biases
+    dram = select_dram(streaming_gb_s)
+    return parameter_bytes / (dram.bandwidth_gb_s * 1e9)
+
+
+#: The serving catalogue: the four deployment scenarios of Sections 7.2-7.3.
+WORKLOADS: Dict[str, RuntimeWorkload] = {}
+
+
+def register_workload(workload: RuntimeWorkload) -> RuntimeWorkload:
+    """Add a workload to the catalogue (name must be unused)."""
+    if workload.name in WORKLOADS:
+        raise ValueError(f"workload {workload.name!r} is already registered")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def workload(name: str) -> RuntimeWorkload:
+    """Look up a catalogue workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from exc
+
+
+register_workload(
+    RuntimeWorkload(
+        name="denoise",
+        description="DnERNet denoising at 4K UHD 30 fps (Section 7.2)",
+        kind="ernet",
+        spec_name="UHD30",
+        task="dn",
+    )
+)
+register_workload(
+    RuntimeWorkload(
+        name="super_resolution",
+        description="SR4ERNet four-times super-resolution to 4K UHD 30 fps (Section 7.2)",
+        kind="ernet",
+        spec_name="UHD30",
+        task="sr4",
+    )
+)
+register_workload(
+    RuntimeWorkload(
+        name="style_transfer",
+        description="Johnson-style transfer at Full HD, two-sub-model split (Section 7.3)",
+        kind="style_transfer",
+        spec_name="HD30",
+    )
+)
+register_workload(
+    RuntimeWorkload(
+        name="recognition",
+        description="40-layer recognition trunk, one 224x224 image per block (Section 7.3)",
+        kind="recognition",
+        spec_name="IMG224",
+    )
+)

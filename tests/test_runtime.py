@@ -1,0 +1,241 @@
+"""Serving runtime: cache, batching scheduler, traces and parallel sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import parallel_sweep, sweep
+from repro.core.overheads import normalized_bandwidth_ratio
+from repro.hw.performance import evaluate_performance
+from repro.models.ernet import PAPER_MODELS, build_ernet
+from repro.runtime import (
+    ParallelSweep,
+    RequestQueue,
+    ResultCache,
+    Scheduler,
+    ServingEngine,
+    WorkloadProfile,
+    fingerprint,
+    form_batches,
+    trace,
+    workload,
+)
+from repro.specs import SPECIFICATIONS
+
+
+# ---------------------------------------------------------------------- cache
+class TestResultCache:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache()
+        calls = []
+        key = cache.key("answer", 42)
+        assert cache.get_or_compute(key, lambda: calls.append(1) or "value") == "value"
+        assert cache.get_or_compute(key, lambda: calls.append(1) or "other") == "value"
+        assert len(calls) == 1  # the second lookup never recomputes
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.entries == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_content_addressing_is_structural(self):
+        # Equal content produces equal keys regardless of construction order.
+        assert fingerprint({"a": 1, "b": 2.5}) == fingerprint({"b": 2.5, "a": 1})
+        assert fingerprint([1, 2]) == fingerprint((1, 2))
+        spec = SPECIFICATIONS["UHD30"]
+        assert fingerprint(spec) == fingerprint(SPECIFICATIONS["UHD30"])
+        assert fingerprint(spec) != fingerprint(SPECIFICATIONS["HD30"])
+        # Float keys are exact, not formatted.
+        assert fingerprint(0.1) != fingerprint(0.1000001)
+
+    def test_identity_repr_objects_are_rejected(self):
+        # Objects whose repr embeds their address cannot be content-addressed.
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            fingerprint(Opaque())
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        for value in ("a", "b", "c"):
+            cache.get_or_compute(cache.key(value), lambda v=value: v)
+        assert len(cache) == 2
+        assert cache.key("a") not in cache  # least recently used fell out
+        assert cache.key("c") in cache
+
+    def test_workload_profile_is_cached(self):
+        cache = ResultCache()
+        first = workload("denoise").profile(cache=cache)
+        second = workload("denoise").profile(cache=cache)
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+
+# ------------------------------------------------------------------ scheduler
+def _profiles():
+    """Hand-sized profiles so expected completions are exact by construction."""
+    return {
+        "a": WorkloadProfile(
+            workload="a", model_name="A", spec_name="S",
+            frame_latency_s=0.01, dram_gb_s=1.0, power_w=5.0, load_time_s=0.002,
+        ),
+        "b": WorkloadProfile(
+            workload="b", model_name="B", spec_name="S",
+            frame_latency_s=0.02, dram_gb_s=1.0, power_w=5.0, load_time_s=0.004,
+        ),
+    }
+
+
+def _queue_four_requests():
+    queue = RequestQueue()
+    queue.submit("s1", "a", frames=2, arrival_s=0.0)
+    queue.submit("s2", "b", frames=1, arrival_s=0.0)
+    queue.submit("s1", "a", frames=2, arrival_s=0.0)
+    queue.submit("s3", "a", frames=1, arrival_s=0.1)
+    return queue
+
+
+class TestScheduler:
+    def test_deterministic_batching_order(self):
+        requests = _queue_four_requests().drain()
+        batches = form_batches(requests, max_batch_frames=4)
+        # Same-workload requests coalesce up to the frame budget; batch order
+        # follows each batch's first request.
+        assert [(b.workload, tuple(r.seq for r in b.requests)) for b in batches] == [
+            ("a", (0, 2)),
+            ("b", (1,)),
+            ("a", (3,)),
+        ]
+        # Batching is a pure function of the request set.
+        again = form_batches(_queue_four_requests().drain(), max_batch_frames=4)
+        assert again == batches
+
+    def test_exact_schedule_timing(self):
+        scheduler = Scheduler(_profiles(), num_instances=2, max_batch_frames=4)
+        result = scheduler.run(_queue_four_requests().drain())
+        by_seq = {record.request.seq: record for record in result.records}
+        # Instance 0: load a (2 ms) + 2x2 frames at 10 ms.
+        assert by_seq[0].completion_s == pytest.approx(0.022)
+        assert by_seq[2].completion_s == pytest.approx(0.042)
+        # Instance 1: load b (4 ms) + 1 frame at 20 ms.
+        assert by_seq[1].completion_s == pytest.approx(0.024)
+        # Third batch waits for its arrival (0.1), pays the a-load again.
+        assert by_seq[3].instance == 1
+        assert by_seq[3].completion_s == pytest.approx(0.112)
+        assert result.makespan_s == pytest.approx(0.112)
+        # Re-running the same queue reproduces the schedule exactly.
+        assert scheduler.run(_queue_four_requests().drain()) == result
+
+    def test_per_stream_fps_accounting(self):
+        scheduler = Scheduler(_profiles(), num_instances=2, max_batch_frames=4)
+        stats = scheduler.run(_queue_four_requests().drain()).stream_stats()
+        assert sorted(stats) == ["s1", "s2", "s3"]
+        s1 = stats["s1"]
+        assert s1.frames == 4
+        assert s1.fps == pytest.approx(4 / 0.042)
+        assert s1.mean_latency_s == pytest.approx((0.022 + 0.042) / 2)
+        assert s1.max_latency_s == pytest.approx(0.042)
+        assert stats["s3"].max_latency_s == pytest.approx(0.012)  # 0.112 - 0.1
+
+    def test_batches_order_by_arrival_not_submission(self):
+        # A request submitted first but arriving later must not be scheduled
+        # ahead of an earlier-arriving one.
+        queue = RequestQueue()
+        queue.submit("s1", "a", frames=1, arrival_s=10.0)  # seq 0, arrives late
+        queue.submit("s2", "b", frames=1, arrival_s=0.0)   # seq 1, arrives first
+        requests = queue.drain()
+        batches = form_batches(requests, max_batch_frames=4)
+        assert [batch.workload for batch in batches] == ["b", "a"]
+        result = Scheduler(_profiles(), num_instances=1).run(requests)
+        by_stream = {rec.request.stream_id: rec for rec in result.records}
+        # The early arrival is served immediately, not queued behind seq 0.
+        assert by_stream["s2"].completion_s == pytest.approx(0.024)
+
+    def test_batch_budget_validation(self):
+        with pytest.raises(ValueError):
+            form_batches([], max_batch_frames=0)
+        with pytest.raises(ValueError):
+            Scheduler(_profiles(), num_instances=0)
+        with pytest.raises(ValueError):
+            RequestQueue().submit("s", "a", frames=0)
+
+
+# --------------------------------------------------------------------- engine
+class TestServingEngine:
+    def test_demo_trace_multi_stream_fps_regression(self):
+        """The demo trace serves all four workloads at stable per-stream rates."""
+        engine = ServingEngine(num_instances=2, cache=ResultCache())
+        demo = trace("demo")
+        assert engine.play(demo) == len(demo.events)
+        report = engine.run()
+        stats = report.schedule.stream_stats()
+        assert sorted(stats) == ["art0", "cam0", "gate0", "tv0"]
+        # Per-stream FPS regression: the video streams must hold a video-rate
+        # cadence on two shared instances, and every request must finish.
+        assert report.schedule.total_frames == demo.total_frames
+        assert stats["cam0"].fps > 15.0
+        assert stats["tv0"].fps > 12.0
+        for stream in stats.values():
+            assert stream.max_latency_s < 1.0
+        # The scheduler asked the profile cache once per workload, then hit.
+        assert report.cache.misses == 4
+        assert report.cache.hits > 0
+        # Replaying the identical trace yields the identical schedule.
+        engine2 = ServingEngine(num_instances=2, cache=ResultCache())
+        engine2.play(trace("demo"))
+        assert engine2.run().schedule == report.schedule
+
+    def test_profile_matches_performance_model(self):
+        """Serving latency is exactly the Fig. 19 frame-time of the model."""
+        profile = workload("denoise").profile(cache=ResultCache())
+        network = build_ernet(PAPER_MODELS["dn"]["UHD30"])
+        perf = evaluate_performance(network, SPECIFICATIONS["UHD30"])
+        assert profile.frame_latency_s == pytest.approx(perf.frame_time_s)
+        assert profile.fps_capacity == pytest.approx(perf.fps)
+        assert profile.fps_capacity > SPECIFICATIONS["UHD30"].fps  # real time
+
+    def test_analytics_cached_and_consistent(self):
+        engine = ServingEngine(num_instances=1, cache=ResultCache())
+        first = engine.analyze("denoise")
+        second = engine.analyze("denoise")
+        assert first is second
+        assert first.layer_timing  # one entry per FBISA line
+        assert first.profile.model_name == "DnERNet-B3R1N0"
+
+    def test_unknown_workload_rejected(self):
+        engine = ServingEngine(cache=ResultCache())
+        with pytest.raises(KeyError):
+            engine.submit("s0", "no-such-workload")
+
+
+# ---------------------------------------------------------------------- sweep
+class TestParallelSweep:
+    def test_bit_identical_to_serial_sweep(self):
+        betas = [0.05, 0.1, 0.2, 0.3, 0.4]
+        serial = sweep(betas, normalized_bandwidth_ratio)
+        engine = ParallelSweep(max_workers=2)
+        parallel = engine.run(betas, normalized_bandwidth_ratio)
+        assert parallel == serial
+        assert engine.last_mode == "parallel"
+
+    def test_unpicklable_function_falls_back_to_serial(self):
+        offset = 10
+        engine = ParallelSweep(max_workers=2)
+        result = engine.run([1, 2, 3], lambda x: x + offset)
+        assert result == [(1, 11), (2, 12), (3, 13)]
+        assert engine.last_mode == "serial"
+
+    def test_empty_and_single_point_sweeps(self):
+        engine = ParallelSweep()
+        assert engine.run([], normalized_bandwidth_ratio) == []
+        assert engine.run([0.1], normalized_bandwidth_ratio) == sweep(
+            [0.1], normalized_bandwidth_ratio
+        )
+        assert engine.last_mode == "serial"  # one point never spawns a pool
+
+    def test_parallel_sweep_helper_routes_through_runtime(self):
+        betas = (0.05, 0.2)
+        assert parallel_sweep(betas, normalized_bandwidth_ratio) == sweep(
+            list(betas), normalized_bandwidth_ratio
+        )

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in README/docs must resolve.
+
+Scans Markdown files for inline links and ensures each relative target
+exists in the repository (external http(s)/mailto links are skipped, as the
+CI environment is offline-friendly).  Exits non-zero listing broken links.
+
+Run with::
+
+    python tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def broken_links(markdown_path: Path) -> list[str]:
+    broken = []
+    for target in _LINK.findall(markdown_path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if path and not (markdown_path.parent / path).exists():
+            broken.append(target)
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg) for arg in argv] or [Path("README.md")]
+    failures = 0
+    for markdown_path in files:
+        if not markdown_path.exists():
+            print(f"MISSING FILE {markdown_path}")
+            failures += 1
+            continue
+        for target in broken_links(markdown_path):
+            print(f"BROKEN {markdown_path}: {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
