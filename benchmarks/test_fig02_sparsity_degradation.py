@@ -5,7 +5,6 @@ pruning and can go negative.  (b) Depth-wise convolution in EDSR-baseline
 residual blocks: 52-75% complexity savings cost 0.3-1.2 dB across datasets.
 """
 
-import pytest
 
 from conftest import emit
 from repro.analysis.report import format_table

@@ -6,7 +6,6 @@ peaks at an intermediate depth for each constraint; the paper's HD30 pick is
 SR4ERNet-B34R4N0.
 """
 
-import pytest
 
 from conftest import emit
 from repro.analysis.report import format_table

@@ -1,6 +1,5 @@
 """Fig. 18: the six-line FBISA program of DnERNet-B3R1N0 (UHD30)."""
 
-import pytest
 
 from conftest import emit
 from repro.fbisa.compiler import compile_network

@@ -1,6 +1,5 @@
 """Fig. 19: inference time (left) and NCR (right) for the picked ERNet models."""
 
-import pytest
 
 from conftest import emit
 from repro.analysis.report import format_table

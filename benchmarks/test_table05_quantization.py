@@ -6,12 +6,10 @@ of 1.1-1.5x, coded sizes close to the Shannon limit, and everything fitting
 the 1,288 KB parameter memory.
 """
 
-import pytest
 
 from conftest import emit
 from repro.analysis.report import format_table
 from repro.fbisa.compiler import compile_network
-from repro.fbisa.huffman import entropy_bits_per_symbol
 from repro.fbisa.params import pack_parameters, weight_entropy
 from repro.hw.config import DEFAULT_CONFIG
 from repro.models.ernet import build_dnernet, build_sr4ernet

@@ -1,6 +1,5 @@
 """Table 7: comparison of computational-imaging processors (eCNN vs IDEAL vs Diffy)."""
 
-import pytest
 
 from conftest import emit
 from repro.analysis.report import format_table

@@ -1,9 +1,10 @@
-"""Design-space exploration: block size, model depth and sub-model splits.
+"""Design-space exploration: block size, model depth, splits and backends.
 
 Reproduces the reasoning of Sections 3-4 interactively: how the NBR/NCR
 overheads move with the block-buffer size, how the model-scanning procedure
-picks an ERNet under each real-time constraint, and when splitting a deep
-model into sub-models pays off.
+picks an ERNet under each real-time constraint, when splitting a deep model
+into sub-models pays off, and — through the ``repro.api`` session layer —
+how the chosen workloads land on every registered accelerator backend.
 
 Run with::
 
@@ -13,7 +14,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.analysis.sweeps import parallel_sweep
+from repro.analysis.sweeps import cross_backend_sweep, parallel_sweep
 from repro.core.overheads import (
     block_buffer_bytes,
     block_size_for_buffer,
@@ -88,10 +89,32 @@ def submodel_study() -> None:
           f"{block_buffer_bytes(64, 96) // 1024} KB)")
 
 
+def backend_study() -> None:
+    # The accelerator axis of the design space: the same two workloads
+    # profiled on every registered backend through one shared session cache.
+    rows = [
+        (workload, backend,
+         round(profile.frame_latency_s * 1e3, 2),
+         round(profile.power_w, 2),
+         round(profile.dram_gb_s, 2),
+         "yes" if profile.supports(30.0) else "no")
+        for workload, backend, profile in cross_backend_sweep(
+            ("denoise", "style_transfer")
+        )
+    ]
+    print()
+    print(format_table(
+        "Cross-backend comparison via repro.api (30 fps real-time check)",
+        ["workload", "backend", "ms/frame", "power W", "DRAM GB/s", "30 fps"],
+        rows,
+    ))
+
+
 def main() -> None:
     overhead_study()
     scanning_study()
     submodel_study()
+    backend_study()
 
 
 if __name__ == "__main__":

@@ -6,8 +6,10 @@ This example walks the whole public API in one page:
 2. run it on a synthetic noisy image with the block-based truncated-pyramid
    flow and check it matches frame-based execution exactly,
 3. compile it to a six-line FBISA program,
-4. ask the serving runtime for throughput, power and DRAM requirements
-   (computed once, answered from the content-addressed cache after).
+4. open a ``repro.api.Session`` and ask it for throughput, power, DRAM and
+   silicon cost (computed once, answered from the content-addressed cache
+   after), then compare the same workload across every registered
+   accelerator backend.
 
 Run with::
 
@@ -19,12 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.workloads import add_gaussian_noise, synthetic_image
+from repro.api import Session, available_backends
 from repro.core import BlockInferencePipeline
 from repro.fbisa import compile_network
 from repro.hw import select_dram
 from repro.models import build_dnernet
 from repro.quant import psnr
-from repro.runtime import ResultCache, ServingEngine
+from repro.runtime import ResultCache
 from repro.specs import SPECIFICATIONS
 
 
@@ -53,20 +56,31 @@ def main() -> None:
     print("\nFBISA program:")
     print(compiled.program.listing())
 
-    # 4. Hardware cost at 4K UHD 30 fps, served through the runtime layer:
-    #    the engine compiles + characterizes the workload once and answers
-    #    every later query (here, the second analyze call) from its
+    # 4. Hardware cost at 4K UHD 30 fps, through the repro.api session layer:
+    #    the session compiles + characterizes the workload once and answers
+    #    every later query (here, the second profile call) from its
     #    content-addressed cache.
     spec = SPECIFICATIONS["UHD30"]
-    engine = ServingEngine(num_instances=1, cache=ResultCache())
-    profile = engine.analyze("denoise").profile
-    engine.analyze("denoise")  # repeated analytic query: a cache hit
-    print(f"\n{spec.name}: {profile.fps_capacity:.1f} fps "
+    session = Session(backend="ecnn", cache=ResultCache())
+    profile = session.profile("denoise")
+    session.profile("denoise")  # repeated analytic query: a cache hit
+    cost = session.cost()
+    print(f"\n{spec.name}: {profile.fps:.1f} fps "
           f"({profile.frame_latency_s * 1e3:.1f} ms/frame, budget {1000 / spec.fps:.1f} ms)")
-    print(f"processor power: {profile.power_w:.2f} W")
+    print(f"processor power: {profile.power_w:.2f} W, "
+          f"silicon: {cost.area_mm2:.1f} mm^2 at {cost.technology_nm} nm")
     print(f"DRAM: {profile.dram_gb_s:.2f} GB/s -> "
           f"{select_dram(profile.dram_gb_s).name} is enough")
-    print(f"analytic cache: {engine.cache.stats.describe()}")
+    print(f"analytic cache: {session.cache.stats.describe()}")
+
+    # 5. The same workload on every registered accelerator backend — the
+    #    pluggable-backend API serves each one through the same session
+    #    machinery, no per-accelerator code.
+    print(f"\ndenoise at {spec.name} across {len(available_backends())} backends:")
+    for other in session.compare("denoise"):
+        realtime = "real-time" if other.supports(spec.fps) else "too slow"
+        print(f"  {other.backend:12s} {other.frame_latency_s * 1e3:10.2f} ms/frame  "
+              f"{other.power_w:6.2f} W  {other.dram_gb_s:7.2f} GB/s  ({realtime})")
 
 
 if __name__ == "__main__":

@@ -15,12 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.workloads import synthetic_image
+from repro.api import Session
 from repro.core.partition import partition_into_submodels
 from repro.fbisa import compile_network
 from repro.hw.config import DEFAULT_CONFIG
 from repro.models.complexity import kop_per_pixel, parameter_count
 from repro.models.vision import STYLE_TRANSFER_SUMMARY, build_style_transfer_network
-from repro.runtime import ResultCache, ServingEngine
+from repro.runtime import ResultCache
 from repro.specs import SPECIFICATIONS
 
 
@@ -55,14 +56,21 @@ def main() -> None:
               f"needs {required_tops:5.1f} TOPS for 30 fps, "
               f"sustains ~{fps:5.1f} fps, DRAM ~{dram_gb_s:4.2f} GB/s")
 
-    # The serving runtime charges exactly the two-sub-model execution per
-    # frame; its cached profile should agree with the split row above.
-    engine = ServingEngine(num_instances=1, cache=ResultCache())
-    profile = engine.profile("style_transfer")
+    # The session layer charges exactly the two-sub-model execution per
+    # frame; its cached serving profile should agree with the split row above.
+    session = Session(backend="ecnn", cache=ResultCache())
+    profile = session.serving_profile("style_transfer")
     print(f"\nruntime serving profile: {profile.fps_capacity:.1f} fps capacity, "
           f"{profile.frame_latency_s * 1e3:.1f} ms/frame, "
           f"{profile.dram_gb_s:.2f} GB/s, {profile.power_w:.2f} W "
-          f"(cache: {engine.cache.stats.describe()})")
+          f"(cache: {session.cache.stats.describe()})")
+
+    # And the same workload on the published comparison accelerators, one
+    # line per registered backend.
+    print("\nstyle transfer across backends (Full HD 30 fps target):")
+    for other in session.compare("style_transfer", backends=("ecnn", "diffy", "scale_sim")):
+        print(f"  {other.backend:10s} {1.0 / other.frame_latency_s:8.1f} fps  "
+              f"{other.power_w:6.2f} W  {other.dram_gb_s:6.2f} GB/s")
 
     print(f"\npaper reference: {STYLE_TRANSFER_SUMMARY.fps_on_ecnn} fps at "
           f"{STYLE_TRANSFER_SUMMARY.dram_bandwidth_gb_s} GB/s with "

@@ -26,9 +26,16 @@ Subpackages
     Workload generators, sweeps and report formatting used by the benchmark
     harness.
 ``repro.runtime``
-    Multi-scenario serving layer: request batching across simulated eCNN
-    instances, a content-addressed analytic-result cache, process-parallel
-    design-space sweeps and the ``python -m repro.runtime`` traffic CLI.
+    Multi-scenario serving layer: request batching across simulated
+    accelerator instances, a content-addressed analytic-result cache,
+    process-parallel design-space sweeps and the ``python -m repro.runtime``
+    traffic CLI.
+``repro.api``
+    The typed public surface: the :class:`~repro.api.backend.AcceleratorBackend`
+    protocol and registry (eCNN plus every baseline as a pluggable backend),
+    the :class:`~repro.api.session.Session` owning backend/cache/workload
+    selection, and the frozen :class:`~repro.api.results.PerfProfile` /
+    :class:`~repro.api.results.CostReport` result types.
 """
 
 __version__ = "1.0.0"

@@ -4,7 +4,10 @@
 contract through the runtime's process-parallel engine
 (:class:`repro.runtime.sweep.ParallelSweep`), which returns bit-identical
 pairs because every point runs the same function on the same value and
-result order is preserved.
+result order is preserved.  :func:`cross_backend_sweep` is the accelerator
+axis: one :class:`~repro.api.session.Session` per registered backend, every
+named workload profiled through it, all answers shared through one
+content-addressed cache.
 """
 
 from __future__ import annotations
@@ -38,3 +41,29 @@ def parallel_sweep(
     from repro.runtime.sweep import ParallelSweep
 
     return ParallelSweep(max_workers=max_workers).run(values, function)
+
+
+def cross_backend_sweep(
+    workloads: Sequence[str],
+    backends: Optional[Sequence[str]] = None,
+    *,
+    cache=None,
+):
+    """Profile every (workload, backend) pair through the session layer.
+
+    Returns ``[(workload, backend, PerfProfile), ...]`` ordered workloads
+    outer, backends inner.  ``backends`` defaults to every registered
+    backend; all sessions share one cache so common sub-questions (network
+    builds folded into plans, costs) are answered once.
+    """
+    from repro.api import Session, available_backends
+    from repro.runtime.cache import ResultCache
+
+    names = tuple(backends) if backends is not None else available_backends()
+    shared = cache if cache is not None else ResultCache()
+    sessions = {name: Session(backend=name, cache=shared) for name in names}
+    return [
+        (workload, name, sessions[name].profile(workload))
+        for workload in workloads
+        for name in names
+    ]

@@ -1,0 +1,49 @@
+"""repro.api — the typed public surface over accelerators and workloads.
+
+Three abstractions:
+
+* :class:`~repro.api.backend.AcceleratorBackend` — the protocol an
+  accelerator model implements (``compile`` / ``profile`` / ``execute`` /
+  ``cost``), registered with :func:`~repro.api.backend.register_backend`;
+* :class:`~repro.api.session.Session` — owns backend selection, the
+  content-addressed :class:`~repro.runtime.cache.ResultCache` and the
+  workload registry; every serving, sweep and report path goes through it;
+* the frozen result types of :mod:`repro.api.results` —
+  :class:`~repro.api.results.PerfProfile`,
+  :class:`~repro.api.results.CostReport` and
+  :class:`~repro.api.results.CompiledPlan` — unifying the per-module report
+  shapes the evaluation previously exposed.
+
+Importing this package registers the built-in backends (``ecnn``,
+``frame_based``, ``eyeriss``, ``diffy``, ``ideal``, ``scale_sim``).  See
+``docs/backends.md`` for how to write and register a new one.
+"""
+
+from repro.api.backend import (
+    AcceleratorBackend,
+    BACKENDS,
+    available_backends,
+    backend_class,
+    create_backend,
+    describe_backends,
+    register_backend,
+    unregister_backend,
+)
+from repro.api.results import CompiledPlan, CostReport, PerfProfile
+from repro.api.session import Session
+import repro.api.backends  # noqa: F401  (registers the built-in backends)
+
+__all__ = [
+    "AcceleratorBackend",
+    "BACKENDS",
+    "CompiledPlan",
+    "CostReport",
+    "PerfProfile",
+    "Session",
+    "available_backends",
+    "backend_class",
+    "create_backend",
+    "describe_backends",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,133 @@
+"""Frozen result types shared by every accelerator backend.
+
+The pre-existing evaluation surface grew one result shape per module:
+:class:`repro.hw.performance.PerformanceReport` for eCNN throughput,
+:class:`repro.hw.area_power.AreaReport` for silicon cost, and ad-hoc dicts or
+published-figure dataclasses for each baseline.  The session layer unifies
+them behind two frozen dataclasses — :class:`PerfProfile` (what serving one
+frame costs) and :class:`CostReport` (what the silicon costs) — plus
+:class:`CompiledPlan`, the backend-opaque handle produced by
+``AcceleratorBackend.compile`` and consumed by ``profile``/``execute``.
+
+The eCNN backend fills these bit-for-bit from the legacy reports (the parity
+tests pin this), so nothing is lost in translation; baseline backends fill
+the same fields from their own models or published figures, which is what
+makes cross-backend sweeps a one-liner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.nn.network import Network
+from repro.specs import RealTimeSpec
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledPlan:
+    """A network lowered for one backend at one operating point.
+
+    ``payload`` is backend-specific (the eCNN backend stores its
+    :class:`~repro.fbisa.compiler.CompiledModel`, the SCALE-Sim backend its
+    simulation report; published-figure backends store nothing) and must only
+    be interpreted by the backend that produced the plan.
+    """
+
+    backend: str
+    model_name: str
+    spec_name: str
+    network: Network
+    spec: RealTimeSpec
+    #: Input-resolution block size the plan was compiled for (0 when the
+    #: backend is not block-based).
+    input_block: int = 0
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """Per-frame serving performance of one workload on one backend.
+
+    For the eCNN backend every field is taken verbatim from the legacy
+    :class:`~repro.hw.performance.PerformanceReport` /
+    :class:`~repro.hw.area_power.PowerReport` /
+    :class:`~repro.hw.dram.DramTraffic` trio; derived quantities
+    (:attr:`fps`, :attr:`utilization`, ...) therefore agree exactly with the
+    legacy properties of the same name.
+    """
+
+    backend: str
+    model_name: str
+    spec_name: str
+    #: Time one output frame occupies the accelerator, seconds.
+    frame_latency_s: float
+    #: DRAM bandwidth while streaming this workload, GB/s.
+    dram_gb_s: float
+    #: Accelerator power while streaming this workload, watts.
+    power_w: float
+    #: One-time model (re)load cost charged on a workload switch, seconds.
+    load_time_s: float
+    #: Peak compute of the backend configuration, TOPS.
+    peak_tops: float
+    #: Useful operations per second actually delivered, TOPS.
+    achieved_tops: float
+
+    @property
+    def fps(self) -> float:
+        """Frames per second one dedicated accelerator sustains."""
+        return 1.0 / self.frame_latency_s
+
+    def supports(self, target_fps: float) -> bool:
+        """Whether the backend sustains the target frame rate in real time."""
+        return self.fps >= target_fps
+
+    @property
+    def utilization(self) -> float:
+        """Achieved over peak TOPS when the accelerator runs flat out."""
+        return self.achieved_tops / self.peak_tops
+
+    @property
+    def throughput_efficiency(self) -> float:
+        """Frames per second per TOPS of peak compute (the paper's fps/TOPS)."""
+        return self.fps / self.peak_tops
+
+    @property
+    def energy_per_frame_j(self) -> float:
+        """Accelerator energy to produce one output frame, joules."""
+        return self.power_w * self.frame_latency_s
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Silicon cost of one backend configuration.
+
+    ``breakdown`` is a (component, mm^2) tuple sequence — a tuple rather
+    than a dict so the report stays hashable and content-addressable.
+    ``source`` records whether the figures come from this repository's
+    calibrated model (``"modelled"``) or from the comparison system's
+    publication (``"published"``).
+    """
+
+    backend: str
+    area_mm2: float
+    technology_nm: int
+    breakdown: Tuple[Tuple[str, float], ...] = ()
+    source: str = "modelled"
+
+    def component(self, name: str) -> float:
+        """Area of one named component in mm^2."""
+        for component, area in self.breakdown:
+            if component == name:
+                return area
+        raise KeyError(
+            f"no component {name!r}; expected one of "
+            f"{[component for component, _ in self.breakdown]}"
+        )
+
+    def share(self, name: str) -> float:
+        """Fraction of the total area one named component occupies."""
+        return self.component(name) / self.area_mm2
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.breakdown)

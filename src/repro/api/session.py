@@ -1,0 +1,212 @@
+"""The :class:`Session` — one object owning backend, cache and registries.
+
+A session binds together everything one evaluation context needs:
+
+* an :class:`~repro.api.backend.AcceleratorBackend` (by registry name or as
+  an instance),
+* a hardware configuration (the host eCNN config giving the comparison its
+  compute/memory context),
+* a :class:`~repro.runtime.cache.ResultCache` so every compile/profile/cost
+  question is answered once per content address, and
+* the workload catalogue (:data:`repro.runtime.workloads.WORKLOADS` by
+  default — inject a dict to scope or extend it).
+
+The serving engine, the sweep helpers and the examples all go through a
+session instead of reaching into ``hw``/``core``/``fbisa`` directly, so a
+newly registered backend is served, swept and reported with no further
+wiring.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.backend import AcceleratorBackend, available_backends, create_backend
+from repro.api.results import CompiledPlan, CostReport, PerfProfile
+from repro.core.pipeline import InferenceResult
+from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
+from repro.nn.network import Network
+from repro.nn.tensor import FeatureMap
+
+if TYPE_CHECKING:  # runtime modules are imported lazily: repro.runtime.engine
+    # imports this module, so a top-level import here would be circular.
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.workloads import RuntimeWorkload, WorkloadProfile
+
+
+class Session:
+    """Evaluate catalogue workloads on one accelerator backend, cached.
+
+    Parameters
+    ----------
+    backend:
+        Registry name (see :func:`repro.api.available_backends`) or an
+        already-constructed backend instance.
+    config:
+        Host eCNN hardware configuration; forwarded to backends constructed
+        by name.
+    cache:
+        Result cache; defaults to the process-wide
+        :data:`~repro.runtime.cache.DEFAULT_CACHE`.  Pass a scoped
+        :class:`ResultCache` for isolation or a bounded footprint.
+    workloads:
+        Workload registry; defaults to the live serving catalogue.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Union[str, AcceleratorBackend] = "ecnn",
+        config: EcnnConfig = DEFAULT_CONFIG,
+        cache: Optional[ResultCache] = None,
+        workloads: Optional[Mapping[str, RuntimeWorkload]] = None,
+    ) -> None:
+        from repro.runtime.cache import DEFAULT_CACHE
+        from repro.runtime.workloads import WORKLOADS
+
+        self.config = config
+        self.cache = cache if cache is not None else DEFAULT_CACHE
+        self.backend: AcceleratorBackend = (
+            create_backend(backend, config=config) if isinstance(backend, str) else backend
+        )
+        self._workloads: Mapping[str, RuntimeWorkload] = (
+            workloads if workloads is not None else WORKLOADS
+        )
+
+    # ------------------------------------------------------------- registries
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    def catalogue(self) -> Dict[str, str]:
+        """Name -> description of the workloads this session can evaluate."""
+        return {name: entry.description for name, entry in sorted(self._workloads.items())}
+
+    def workload(self, name: str) -> RuntimeWorkload:
+        """Look up a workload in this session's registry."""
+        try:
+            return self._workloads[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown workload {name!r}; expected one of {sorted(self._workloads)}"
+            ) from exc
+
+    def network(self, workload_name: str) -> Network:
+        """Build the workload's network (deterministic, so not cached)."""
+        return self.workload(workload_name).build_network()
+
+    # ------------------------------------------------------------ evaluation
+    def _backend_identity(self):
+        """Content-address component distinguishing backend instances.
+
+        Backends expose ``cache_identity`` (their configuration) so two
+        differently-parameterized instances of the same backend never share
+        cached answers; a backend without one keys on its name alone.
+        """
+        return getattr(self.backend, "cache_identity", None)
+
+    def _key(self, kind: str, entry: RuntimeWorkload) -> str:
+        from repro.runtime.cache import ResultCache
+
+        return ResultCache.key(
+            "api",
+            kind,
+            self.backend_name,
+            self._backend_identity(),
+            entry.cache_key(self.config),
+        )
+
+    def compile(self, workload_name: str) -> CompiledPlan:
+        """Backend-lowered plan for a workload (cached per content address)."""
+        entry = self.workload(workload_name)
+        return self.cache.get_or_compute(
+            self._key("plan", entry),
+            lambda: self.backend.compile(entry.build_network(), entry.spec),
+        )
+
+    def profile(self, workload_name: str) -> PerfProfile:
+        """Per-frame serving figures of a workload on this backend (cached)."""
+        entry = self.workload(workload_name)
+        return self.cache.get_or_compute(
+            self._key("profile", entry),
+            lambda: self.backend.profile(self.compile(workload_name), entry.spec),
+        )
+
+    def cost(self) -> CostReport:
+        """Silicon cost of this session's backend configuration (cached)."""
+        from repro.runtime.cache import ResultCache
+
+        key = ResultCache.key(
+            "api", "cost", self.backend_name, self._backend_identity(), self.config
+        )
+        return self.cache.get_or_compute(key, self.backend.cost)
+
+    def execute(self, workload_name: str, frame: FeatureMap) -> InferenceResult:
+        """Run one frame of pixels through the backend's compiled plan.
+
+        Only block-flow workloads support pixel serving (recognition runs
+        single zero-padded blocks, as in the legacy engine path).
+        """
+        entry = self.workload(workload_name)
+        if entry.kind == "recognition":
+            raise ValueError("recognition serves single zero-padded blocks, not block flow")
+        return self.backend.execute(self.compile(workload_name), frame)
+
+    # --------------------------------------------------------------- serving
+    def serving_profile(self, workload_name: str) -> WorkloadProfile:
+        """The scheduler-facing :class:`WorkloadProfile` on this backend.
+
+        The eCNN backend delegates to the workload's own calibrated profile
+        path (bit-identical to the pre-session serving numbers, including the
+        kind-specific style-transfer/recognition models); other backends
+        derive the profile from their :class:`PerfProfile`.  The ecnn branch
+        is kept deliberately even though deriving from :meth:`profile` would
+        give the same numbers: ``RuntimeWorkload.profile`` is a public entry
+        point with its own ``workload-profile`` cache namespace, and routing
+        the engine through it preserves the serving cache statistics the
+        runtime's regression tests and CLI reports pin.
+        """
+        entry = self.workload(workload_name)
+        if self.backend_name == "ecnn":
+            return entry.profile(config=self.config, cache=self.cache)
+        return self.cache.get_or_compute(
+            self._key("serving-profile", entry),
+            lambda: self._derive_serving_profile(workload_name),
+        )
+
+    def _derive_serving_profile(self, workload_name: str) -> WorkloadProfile:
+        from repro.runtime.workloads import WorkloadProfile
+
+        profile = self.profile(workload_name)
+        return WorkloadProfile(
+            workload=workload_name,
+            model_name=profile.model_name,
+            spec_name=profile.spec_name,
+            frame_latency_s=profile.frame_latency_s,
+            dram_gb_s=profile.dram_gb_s,
+            power_w=profile.power_w,
+            load_time_s=profile.load_time_s,
+        )
+
+    # ------------------------------------------------------------ comparison
+    def compare(
+        self,
+        workload_name: str,
+        backends: Optional[Sequence[str]] = None,
+    ) -> Tuple[PerfProfile, ...]:
+        """One workload profiled across backends (sharing this session's cache)."""
+        names = tuple(backends) if backends is not None else available_backends()
+        profiles: List[PerfProfile] = []
+        for name in names:
+            session = (
+                self
+                if name == self.backend_name
+                else Session(
+                    backend=name,
+                    config=self.config,
+                    cache=self.cache,
+                    workloads=self._workloads,
+                )
+            )
+            profiles.append(session.profile(workload_name))
+        return tuple(profiles)

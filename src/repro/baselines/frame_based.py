@@ -11,8 +11,6 @@ designed to eliminate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from repro.models.complexity import kop_per_pixel
 from repro.nn.layers import Conv2d
 from repro.nn.network import Sequential, iter_conv_layers

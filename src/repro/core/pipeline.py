@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.core.blockflow import BlockGrid, block_based_inference, frame_based_inference
 from repro.core.overheads import OverheadReport, overhead_report
-from repro.nn.network import Network, Sequential
+from repro.nn.network import Sequential
 from repro.nn.receptive_field import required_input_size
 from repro.nn.tensor import FeatureMap
 from repro.quant.quantize import QuantizationPlan

@@ -12,8 +12,6 @@ Comments start with ``;`` and blank lines are ignored.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 from repro.fbisa.isa import (
     BlockBufferId,
     FeatureOperand,

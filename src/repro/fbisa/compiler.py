@@ -24,7 +24,7 @@ by the bitstream packer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -48,7 +48,6 @@ from repro.models.ermodule import ERModule
 from repro.nn.layers import Conv2d, Layer, ReLU, ClippedReLU, Residual
 from repro.nn.network import Sequential
 from repro.nn.ops import MaxPool2x2, PixelShuffle, PixelUnshuffle, StridedPool2x2
-from repro.nn.receptive_field import layer_geometry
 from repro.nn.tensor import FeatureMap
 from repro.quant.qformat import QFormat
 from repro.quant.quantize import QuantizationPlan

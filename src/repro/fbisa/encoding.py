@@ -11,7 +11,7 @@ relies on — programs are tiny compared to parameters.
 from __future__ import annotations
 
 import struct
-from typing import List, Optional
+from typing import Optional
 
 from repro.fbisa.isa import (
     BlockBufferId,

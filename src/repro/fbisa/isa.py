@@ -14,7 +14,7 @@ accumulation — residual connections and partial sums for wide filters.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 #: Channels handled by one leaf-module.

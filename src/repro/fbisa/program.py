@@ -9,7 +9,7 @@ SR4ERNet needs only 45 lines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List
 
 from repro.fbisa.isa import BlockBufferId, Instruction, Opcode
 

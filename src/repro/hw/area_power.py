@@ -24,7 +24,7 @@ Total area 55.23 mm^2; average power 6.94 W across the six ERNet workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.fbisa.isa import Instruction
 from repro.hw.ciu import engine_activity
@@ -163,6 +163,24 @@ def power_report(
         idu_datapath=FULL_ACTIVITY_POWER_W["idu_datapath"] * (0.3 + 0.7 * utilization),
         sequential=SEQUENTIAL_BASE_W * (0.5 + 0.5 * utilization),
     )
+
+
+def analyze_area(config: EcnnConfig = DEFAULT_CONFIG) -> AreaReport:
+    """Deprecated pre-``repro.api`` entry point; use a :class:`repro.api.Session`.
+
+    Kept so downstream scripts keep working; forwards to :func:`area_report`
+    (whose totals the session layer's :class:`~repro.api.results.CostReport`
+    reproduces bit-for-bit on the ``ecnn`` backend).
+    """
+    import warnings
+
+    warnings.warn(
+        "analyze_area() is deprecated; use repro.api.Session(backend='ecnn').cost() "
+        "or area_report()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return area_report(config)
 
 
 def average_power(reports: Iterable[PowerReport]) -> float:

@@ -119,6 +119,19 @@ def select_dram(
     return min(feasible, key=lambda cfg: cfg.bandwidth_gb_s)
 
 
+def parameter_load_time_s(parameter_bytes: int, streaming_gb_s: float) -> float:
+    """Time to stream a model's parameter bytes in over the selected DRAM.
+
+    The DRAM generation is the cheapest one sustaining the workload's
+    streaming bandwidth (the deployment the comparison tables assume), so the
+    one-time parameter load of Fig. 12 is charged at that device's rate.
+    """
+    if parameter_bytes < 0:
+        raise ValueError("parameter_bytes cannot be negative")
+    dram = select_dram(streaming_gb_s)
+    return parameter_bytes / (dram.bandwidth_gb_s * 1e9)
+
+
 def dynamic_power_mw(bandwidth_gb_s: float, dram: DramConfig) -> float:
     """Dynamic DRAM power (activation/read/write) for a sustained bandwidth."""
     if bandwidth_gb_s < 0:

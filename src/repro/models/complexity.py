@@ -9,8 +9,6 @@ intrinsic cost excludes block-overlap recomputation; the effective cost is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from repro.core.overheads import general_ncr, intrinsic_macs_per_output_pixel
 from repro.nn.layers import Conv2d
 from repro.nn.network import Sequential, iter_conv_layers

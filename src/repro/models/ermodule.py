@@ -13,7 +13,7 @@ ratio ``RE = R + N/B`` (the paper writes models as ``B{B}R{R}N{N}``).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.nn.layers import Conv2d, ReLU, Residual
 

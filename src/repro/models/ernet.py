@@ -18,7 +18,7 @@ shuffle at the output, following FFDNet's downsampling strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.models.ermodule import er_chain, overall_expansion_ratio
 from repro.nn.layers import Conv2d, Residual

@@ -15,9 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.overheads import general_ncr
-from repro.models.complexity import kop_per_pixel, model_complexity
-from repro.models.ermodule import overall_expansion_ratio
+from repro.models.complexity import model_complexity
 from repro.models.ernet import ERNetSpec, build_ernet
 from repro.models.quality import QualityModel, default_quality_model
 from repro.nn.layers import Conv2d

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-import numpy as np
-
 #: Datasets reported in Fig. 2 with their relative sensitivity to sparsity.
 #: Urban100 (self-similar structures) suffers most; Set14 least.
 _DATASET_SENSITIVITY: Dict[str, float] = {

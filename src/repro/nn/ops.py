@@ -8,8 +8,6 @@ zero padding / channel padding helpers used at network inputs.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.nn.layers import Layer

@@ -16,10 +16,14 @@ Modules
 * :mod:`repro.runtime.trace` — replayable traffic traces (``demo``,
   ``burst``, ``steady``);
 * :mod:`repro.runtime.engine` — the :class:`~repro.runtime.engine.ServingEngine`
-  front door tying queue, scheduler and cache together;
+  front door tying queue, scheduler and cache together, serving through a
+  :class:`repro.api.Session` so any registered accelerator backend
+  (``ecnn``, ``eyeriss``, ``diffy``, ``ideal``, ``frame_based``,
+  ``scale_sim``) can stand in for the eCNN processor;
 * :mod:`repro.runtime.sweep` — process-parallel design-space sweeps,
   bit-identical to :func:`repro.analysis.sweeps.sweep`;
-* :mod:`repro.runtime.cli` — ``python -m repro.runtime --trace demo``.
+* :mod:`repro.runtime.cli` — ``python -m repro.runtime --trace demo
+  [--backend eyeriss]``.
 """
 
 from repro.runtime.cache import CacheStats, DEFAULT_CACHE, ResultCache, fingerprint

@@ -59,11 +59,12 @@ def fingerprint(*parts: Any) -> str:
 
 @dataclasses.dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one :class:`ResultCache`."""
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
 
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -74,9 +75,10 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def describe(self) -> str:
+        evicted = f", {self.evictions} evicted" if self.evictions else ""
         return (
             f"{self.hits} hits / {self.misses} misses "
-            f"({self.hit_rate:.0%} hit rate, {self.entries} entries)"
+            f"({self.hit_rate:.0%} hit rate, {self.entries} entries{evicted})"
         )
 
 
@@ -98,6 +100,7 @@ class ResultCache:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -121,6 +124,7 @@ class ResultCache:
         self._entries[key] = value
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self._evictions += 1
         return value
 
     def clear(self) -> None:
@@ -130,10 +134,16 @@ class ResultCache:
     def reset_stats(self) -> None:
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._entries))
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._entries),
+            evictions=self._evictions,
+        )
 
 
 #: Process-wide cache shared by the default serving engine and the cached

@@ -2,9 +2,11 @@
 
 Replays a named traffic trace through a :class:`~repro.runtime.engine.ServingEngine`
 and prints the per-stream throughput/latency report, instance utilization and
-cache statistics; ``--analyze`` appends the per-workload analytic summary
-(capacity, DRAM, power) and demonstrates the content-addressed cache by
-asking every analytic question twice.
+cache statistics.  ``--backend`` serves the same trace on any registered
+accelerator backend (``--list-backends`` enumerates them); ``--analyze``
+appends the per-workload analytic summary (capacity, DRAM, power) and
+demonstrates the content-addressed cache by asking every analytic question
+twice.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import argparse
 from typing import Optional, Sequence
 
 from repro.analysis.report import format_table
+from repro.api import available_backends, describe_backends
 from repro.runtime.engine import ServingEngine
 from repro.runtime.trace import TRACES, trace
 
@@ -42,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler batch budget in frames (default: 8)",
     )
     parser.add_argument(
+        "--backend",
+        default="ecnn",
+        choices=available_backends(),
+        help="accelerator backend to serve on (default: ecnn)",
+    )
+    parser.add_argument(
         "--analyze",
         action="store_true",
         help="also print per-workload analytics (asked twice to show cache hits)",
@@ -50,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-traces",
         action="store_true",
         help="list the built-in traces and exit",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered accelerator backends and exit",
     )
     return parser
 
@@ -94,11 +108,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:8s} {built.description} "
                   f"({len(built.events)} requests, {built.total_frames} frames)")
         return 0
+    if args.list_backends:
+        for name, description in describe_backends().items():
+            print(f"{name:12s} {description}")
+        return 0
 
     selected = trace(args.trace)
     engine = ServingEngine(
-        num_instances=args.instances, max_batch_frames=args.batch_frames
+        num_instances=args.instances,
+        max_batch_frames=args.batch_frames,
+        backend=args.backend,
     )
+    print(f"backend {engine.backend_name!r}")
     print(f"trace {selected.name!r}: {selected.description}")
     print(f"streams: {', '.join(selected.streams)}; "
           f"{len(selected.events)} requests, {selected.total_frames} frames\n")

@@ -3,33 +3,41 @@
 :class:`ServingEngine` is the runtime's front door.  Requests are admitted
 per stream, traces replay into the queue, and :meth:`ServingEngine.run`
 drains everything through the batching scheduler over the configured number
-of simulated eCNN instances.  All analytic questions — the per-workload
-serving profile the scheduler charges time from, and the deeper layer-timing
-/ DRAM / area / power queries :meth:`ServingEngine.analyze` answers — go
-through one :class:`~repro.runtime.cache.ResultCache`, so a workload is
-compiled and characterized once no matter how many batches or reports ask.
+of simulated accelerator instances.  Since PR 2 the engine serves through a
+:class:`repro.api.Session`, so the accelerator is pluggable: pass
+``backend="eyeriss"`` (or any name from
+:func:`repro.api.available_backends`) and every profile the scheduler
+charges comes from that backend's model instead of the eCNN processor.
+
+All analytic questions — the per-workload serving profile the scheduler
+charges time from, and the deeper layer-timing / cost queries
+:meth:`ServingEngine.analyze` answers — go through the session's
+:class:`~repro.runtime.cache.ResultCache`, so a workload is compiled and
+characterized once no matter how many batches or reports ask.
 
 For pixel-level serving (functional results, not just timing),
-:meth:`ServingEngine.execute_frame` runs one frame through the block-based
-truncated-pyramid flow of :class:`repro.core.pipeline.BlockInferencePipeline`.
+:meth:`ServingEngine.execute_frame` runs one frame through the backend's
+compiled plan (the block-based truncated-pyramid flow on eCNN, whole-frame
+execution on the frame-based baselines).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.analysis.report import format_table
+from repro.api.results import CostReport
+from repro.api.session import Session
 from repro.core.pipeline import InferenceResult
-from repro.fbisa.compiler import compile_network
 from repro.hw.area_power import AreaReport, area_report
 from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
-from repro.hw.processor import EcnnProcessor
+from repro.hw.processor import BlockExecutionReport, EcnnProcessor
 from repro.nn.tensor import FeatureMap
-from repro.runtime.cache import CacheStats, DEFAULT_CACHE, ResultCache
+from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.scheduler import RequestQueue, ScheduleResult, Scheduler
 from repro.runtime.trace import TrafficTrace
-from repro.runtime.workloads import WORKLOADS, RuntimeWorkload, WorkloadProfile, workload
+from repro.runtime.workloads import RuntimeWorkload, WorkloadProfile
 
 
 @dataclass(frozen=True)
@@ -40,12 +48,28 @@ class WorkloadAnalytics:
     model_name: str
     profile: WorkloadProfile
     #: Per-instruction (label, CIU cycles, IDU cycles) — the layer timing.
+    #: Empty for backends without an FBISA program (everything but eCNN).
     layer_timing: Tuple[Tuple[str, int, int], ...]
-    area: AreaReport
+    cost: CostReport
+    #: The eCNN per-component area report; ``None`` on other backends.
+    area: Optional[AreaReport] = None
+    backend: str = "ecnn"
 
     @property
     def cycles_per_block(self) -> int:
-        return sum(max(ciu, 0) for _, ciu, _ in self.layer_timing)
+        """Block latency under the IDU/CIU instruction pipeline.
+
+        Delegates to the processor's own
+        :attr:`~repro.hw.processor.BlockExecutionReport.pipelined_cycles`
+        (while the CIU computes instruction *i* the IDU decodes instruction
+        *i+1*), so the analytics can never drift from the timing model —
+        when parameter decoding dominates a stage, the IDU cycles are what
+        the block pays, not the CIU cycles.
+        """
+        return BlockExecutionReport(
+            ciu_cycles_per_instruction=tuple(ciu for _, ciu, _ in self.layer_timing),
+            idu_cycles_per_instruction=tuple(idu for _, _, idu in self.layer_timing),
+        ).pipelined_cycles
 
 
 @dataclass(frozen=True)
@@ -54,6 +78,7 @@ class ServingReport:
 
     schedule: ScheduleResult
     cache: CacheStats
+    backend: str = "ecnn"
 
     def render(self) -> str:
         """The CLI's throughput/latency report."""
@@ -85,7 +110,7 @@ class ServingReport:
         )
         summary = (
             f"served {schedule.total_frames} frames in {len(schedule.batches)} batches "
-            f"on {schedule.num_instances} instance(s); "
+            f"on {schedule.num_instances} {self.backend} instance(s); "
             f"makespan {schedule.makespan_s * 1e3:.2f} ms, "
             f"aggregate {schedule.throughput_fps:.1f} fps\n"
             f"analytic cache: {self.cache.describe()}"
@@ -94,12 +119,12 @@ class ServingReport:
 
 
 class ServingEngine:
-    """Serve catalogue workloads on a pool of simulated eCNN instances.
+    """Serve catalogue workloads on a pool of simulated accelerator instances.
 
     Parameters
     ----------
     num_instances:
-        Simulated eCNN processors serving in parallel.
+        Simulated accelerator processors serving in parallel.
     max_batch_frames:
         Scheduler batch budget (see :class:`~repro.runtime.scheduler.Scheduler`).
     config:
@@ -107,6 +132,9 @@ class ServingEngine:
     cache:
         Result cache; defaults to the process-wide
         :data:`~repro.runtime.cache.DEFAULT_CACHE`.
+    backend:
+        Accelerator backend name (default ``"ecnn"``), or a pre-built
+        :class:`repro.api.Session` whose backend/cache/config take precedence.
     """
 
     def __init__(
@@ -116,52 +144,80 @@ class ServingEngine:
         max_batch_frames: int = 8,
         config: EcnnConfig = DEFAULT_CONFIG,
         cache: Optional[ResultCache] = None,
+        backend: Union[str, Session] = "ecnn",
     ) -> None:
-        self.config = config
-        self.cache = cache if cache is not None else DEFAULT_CACHE
+        if isinstance(backend, Session):
+            self.session = backend
+        else:
+            self.session = Session(backend=backend, config=config, cache=cache)
+        self.config = self.session.config
+        self.cache = self.session.cache
         self.queue = RequestQueue()
         self.scheduler = Scheduler(
             self.profile,
             num_instances=num_instances,
             max_batch_frames=max_batch_frames,
         )
-        self._pipelines: Dict[str, object] = {}
+
+    @property
+    def backend_name(self) -> str:
+        return self.session.backend_name
 
     # ------------------------------------------------------------------ admission
     def submit(
         self, stream_id: str, workload_name: str, *, frames: int = 1, arrival_s: float = 0.0
     ) -> None:
         """Admit one request (validates the workload name)."""
-        workload(workload_name)
+        self.session.workload(workload_name)
         self.queue.submit(stream_id, workload_name, frames=frames, arrival_s=arrival_s)
 
     def play(self, trace: TrafficTrace) -> int:
         """Replay a traffic trace into the queue; returns requests admitted."""
         for event in trace.events:
-            workload(event.workload)
+            self.session.workload(event.workload)
         return trace.submit_to(self.queue)
 
     # ------------------------------------------------------------------ serving
     def run(self) -> ServingReport:
         """Drain the queue through the scheduler and report."""
         schedule = self.scheduler.run(self.queue.drain())
-        return ServingReport(schedule=schedule, cache=self.cache.stats)
+        return ServingReport(
+            schedule=schedule, cache=self.cache.stats, backend=self.backend_name
+        )
 
     # ------------------------------------------------------------------ analytics
     def profile(self, workload_name: str) -> WorkloadProfile:
-        """Cached serving profile of a catalogue workload."""
-        return workload(workload_name).profile(config=self.config, cache=self.cache)
+        """Cached serving profile of a catalogue workload on this backend."""
+        return self.session.serving_profile(workload_name)
 
     def analyze(self, workload_name: str) -> WorkloadAnalytics:
-        """Cached deep analytics: layer timing, DRAM, area and power."""
-        entry = workload(workload_name)
-        key = ResultCache.key("workload-analytics", entry.cache_key(self.config))
+        """Cached deep analytics: layer timing (eCNN), serving profile, cost."""
+        entry = self.session.workload(workload_name)
+        key = ResultCache.key(
+            "workload-analytics", self.backend_name, entry.cache_key(self.config)
+        )
         return self.cache.get_or_compute(key, lambda: self._compute_analytics(entry))
 
     def _compute_analytics(self, entry: RuntimeWorkload) -> WorkloadAnalytics:
-        network = entry.build_network()
-        config, block = entry.evaluation_context(network, self.config)
-        compiled = compile_network(network, input_block=block)
+        profile = self.session.serving_profile(entry.name)
+        cost = self.session.cost()
+        if self.backend_name != "ecnn":
+            return WorkloadAnalytics(
+                workload=entry.name,
+                model_name=profile.model_name,
+                profile=profile,
+                layer_timing=(),
+                cost=cost,
+                area=None,
+                backend=self.backend_name,
+            )
+        # The eCNN backend additionally exposes per-instruction layer timing
+        # from the processor's IDU/CIU model, reusing the session's cached
+        # plan so analytics and profiles are guaranteed to describe the same
+        # compilation (same input block, same evaluation config).
+        plan = self.session.compile(entry.name)
+        config = self.session.backend.evaluation_config(plan.network)
+        compiled = plan.payload
         processor = EcnnProcessor(config)
         processor.load(compiled)
         report = processor.block_report()
@@ -175,27 +231,23 @@ class ServingEngine:
         )
         return WorkloadAnalytics(
             workload=entry.name,
-            model_name=network.name,
-            profile=entry.profile(config=self.config, cache=self.cache),
+            model_name=plan.model_name,
+            profile=profile,
             layer_timing=timing,
+            cost=cost,
             area=area_report(config),
+            backend=self.backend_name,
         )
 
     # ------------------------------------------------------------------ pixels
     def execute_frame(self, workload_name: str, image: FeatureMap) -> InferenceResult:
-        """Run one frame of pixels through the block-based flow.
+        """Run one frame of pixels through the backend's compiled plan.
 
-        The per-workload :class:`~repro.core.pipeline.BlockInferencePipeline`
-        is built once and reused; only block-flow workloads (not recognition)
-        support this path.
+        The plan is compiled once (cache-resident) and reused; only
+        block-flow workloads (not recognition) support this path.
         """
-        entry = workload(workload_name)
-        pipeline = self._pipelines.get(workload_name)
-        if pipeline is None:
-            pipeline = entry.pipeline()
-            self._pipelines[workload_name] = pipeline
-        return pipeline.run(image)
+        return self.session.execute(workload_name, image)
 
     def catalogue(self) -> Dict[str, str]:
         """Name -> description of the servable workloads."""
-        return {name: entry.description for name, entry in sorted(WORKLOADS.items())}
+        return self.session.catalogue()

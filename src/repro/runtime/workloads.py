@@ -5,9 +5,11 @@ super-resolution, Section 7.2) and two vision case studies (style transfer
 and object recognition, Section 7.3).  The runtime serves all four as named
 workloads; each knows how to build its network, derive its real-time
 specification and produce a :class:`WorkloadProfile` — the per-frame latency,
-bandwidth and power figures the scheduler charges per request.  Profiles are
-analytic (built on :mod:`repro.hw.performance` and the processor timing
-model), so 4K frames cost nothing to account for, and they are cached
+bandwidth and power figures the scheduler charges per request.  The numbers
+come from the ``ecnn`` backend of :mod:`repro.api.backends` (the single
+source of truth for the eCNN timing/power/DRAM models, including the
+kind-specific style-transfer and recognition paths), so profiles are
+analytic — 4K frames cost nothing to account for — and they are cached
 content-addressed in a :class:`~repro.runtime.cache.ResultCache` because
 every batch of the same workload asks the same question.
 """
@@ -15,17 +17,11 @@ every batch of the same workload asks the same question.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
-from repro.core.partition import partition_into_submodels
 from repro.core.pipeline import BlockInferencePipeline
-from repro.fbisa.compiler import CompiledModel, compile_network
 from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
-from repro.hw.dram import dram_traffic, select_dram
-from repro.hw.area_power import power_report
-from repro.hw.performance import evaluate_performance, recommended_input_block
-from repro.hw.processor import EcnnProcessor
-from repro.models.complexity import kop_per_pixel
+from repro.hw.performance import recommended_input_block
 from repro.models.ernet import PAPER_MODELS, build_ernet
 from repro.models.vision import build_recognition_network, build_style_transfer_network
 from repro.nn.network import Network
@@ -35,13 +31,6 @@ from repro.specs import SPECIFICATIONS, RealTimeSpec
 #: Operating point of the recognition case study: one 224x224 image per
 #: "frame", served as a single zero-padded block (Section 7.3).
 RECOGNITION_SPEC = RealTimeSpec("IMG224", 224, 224, 30.0)
-
-#: Block-overlap factor and split-point traffic of the two-sub-model style
-#: transfer execution (matches the Section 7.3 benchmark).
-_STYLE_OVERLAP = 1.35
-_STYLE_IMAGE_BYTES_PER_PIXEL = 6.0
-#: CIU utilization charged to the vision case studies (analytic estimate).
-_VISION_UTILIZATION = 0.85
 
 
 @dataclass(frozen=True)
@@ -149,98 +138,23 @@ class RuntimeWorkload:
         return cache.get_or_compute(self.cache_key(config), lambda: self._compute_profile(config))
 
     def _compute_profile(self, config: EcnnConfig) -> WorkloadProfile:
-        if self.kind == "ernet":
-            return self._profile_ernet(config)
-        if self.kind == "style_transfer":
-            return self._profile_style_transfer(config)
-        return self._profile_recognition(config)
+        # The ecnn backend owns the timing/power/DRAM models (including the
+        # kind-specific style-transfer/recognition paths, selected by the
+        # network's case_study metadata); this is just the serving-side view.
+        from repro.api.backends import EcnnBackend  # lazy: engine imports repro.api
 
-    def _profile_ernet(self, config: EcnnConfig) -> WorkloadProfile:
-        spec = self.spec
+        backend = EcnnBackend(config)
         network = self.build_network()
-        _, block = self.evaluation_context(network, config)
-        compiled = compile_network(network, input_block=block)
-        perf = evaluate_performance(network, spec, config=config, input_block=block, compiled=compiled)
-        power = power_report(
-            network.name,
-            compiled.program,
-            utilization=perf.realtime_utilization(spec.fps),
-            config=config,
-        )
-        traffic = dram_traffic(network, spec)
+        perf = backend.profile(backend.compile(network, self.spec), self.spec)
         return WorkloadProfile(
             workload=self.name,
-            model_name=network.name,
-            spec_name=spec.name,
-            frame_latency_s=perf.frame_time_s,
-            dram_gb_s=traffic.total_gb_s,
-            power_w=power.total,
-            load_time_s=_parameter_load_time_s(compiled, traffic.total_gb_s),
+            model_name=perf.model_name,
+            spec_name=perf.spec_name,
+            frame_latency_s=perf.frame_latency_s,
+            dram_gb_s=perf.dram_gb_s,
+            power_w=perf.power_w,
+            load_time_s=perf.load_time_s,
         )
-
-    def _profile_style_transfer(self, config: EcnnConfig) -> WorkloadProfile:
-        # Two-sub-model split execution (Section 7.3): the single-model
-        # pyramid's NCR explodes because of the two downsamplers, so the
-        # combined NCR of the split against the compute budget sets the rate.
-        spec = self.spec
-        network = self.build_network()
-        plan = partition_into_submodels(network, 2, 128)
-        tops_per_frame = (
-            kop_per_pixel(network) * 1e3 * plan.combined_ncr * spec.pixels_per_frame / 1e12
-        )
-        fps = config.peak_tops * _VISION_UTILIZATION / tops_per_frame
-        dram_gb_s = (
-            (_STYLE_IMAGE_BYTES_PER_PIXEL * _STYLE_OVERLAP + plan.extra_dram_bytes_per_pixel)
-            * spec.pixel_rate
-            / 1e9
-        )
-        _, block = self.evaluation_context(network, config)
-        compiled = compile_network(network, input_block=block)
-        power = power_report(
-            network.name, compiled.program, utilization=_VISION_UTILIZATION, config=config
-        )
-        return WorkloadProfile(
-            workload=self.name,
-            model_name=network.name,
-            spec_name=spec.name,
-            frame_latency_s=1.0 / fps,
-            dram_gb_s=dram_gb_s,
-            power_w=power.total,
-            load_time_s=_parameter_load_time_s(compiled, dram_gb_s),
-        )
-
-    def _profile_recognition(self, config: EcnnConfig) -> WorkloadProfile:
-        # One 224x224 image is one zero-padded block; the parameter memory is
-        # tripled as in the Section 7.3 case study so the 5M parameters fit.
-        spec = self.spec
-        network = self.build_network()
-        scaled, block = self.evaluation_context(network, config)
-        compiled = compile_network(network, input_block=block)
-        processor = EcnnProcessor(scaled)
-        processor.load(compiled)
-        cycles = processor.block_report().pipelined_cycles
-        fps = scaled.clock_hz / cycles
-        bytes_per_image = spec.pixels_per_frame * 3 + 128 * 7 * 7
-        dram_gb_s = bytes_per_image * fps / 1e9
-        power = power_report(
-            network.name, compiled.program, utilization=_VISION_UTILIZATION, config=scaled
-        )
-        return WorkloadProfile(
-            workload=self.name,
-            model_name=network.name,
-            spec_name=spec.name,
-            frame_latency_s=1.0 / fps,
-            dram_gb_s=dram_gb_s,
-            power_w=power.total,
-            load_time_s=_parameter_load_time_s(compiled, dram_gb_s),
-        )
-
-
-def _parameter_load_time_s(compiled: CompiledModel, streaming_gb_s: float) -> float:
-    """Time to stream the parameter bitstreams in over the selected DRAM."""
-    parameter_bytes = compiled.program.total_weights + compiled.program.total_biases
-    dram = select_dram(streaming_gb_s)
-    return parameter_bytes / (dram.bandwidth_gb_s * 1e9)
 
 
 #: The serving catalogue: the four deployment scenarios of Sections 7.2-7.3.

@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis.workloads import synthetic_image
 from repro.models.baselines import build_plain_network
-from repro.models.ernet import build_dnernet, build_sr2ernet, build_sr4ernet
+from repro.models.ernet import build_dnernet, build_sr2ernet
 from repro.nn.layers import Conv2d, ReLU, Residual
 from repro.nn.network import Network, Sequential
 from repro.nn.ops import PixelShuffle

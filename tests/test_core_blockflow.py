@@ -19,9 +19,7 @@ from repro.core.blockflow import (
     total_input_margin,
 )
 from repro.models.baselines import build_plain_network
-from repro.models.ernet import build_dnernet, build_sr2ernet
 from repro.nn.layers import Conv2d
-from repro.nn.network import Sequential
 from repro.nn.ops import PixelShuffle
 from repro.nn.tensor import FeatureMap
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.blockflow import block_based_inference
 from repro.core.overheads import (
     block_buffer_bytes,
     block_size_for_buffer,
@@ -17,11 +16,9 @@ from repro.core.overheads import (
     pyramid_volume,
 )
 from repro.core.partition import partition_into_submodels
-from repro.analysis.workloads import synthetic_image
 from repro.models.baselines import build_plain_network, build_vdsr
 from repro.models.ernet import build_sr4ernet
 from repro.nn.layers import Conv2d
-from repro.nn.network import Sequential
 
 
 class TestClosedForms:

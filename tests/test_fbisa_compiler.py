@@ -10,7 +10,6 @@ from repro.models.ernet import build_dnernet, build_dnernet_12ch, build_sr4ernet
 from repro.models.vision import build_recognition_network, build_style_transfer_network
 from repro.nn.layers import Conv2d
 from repro.nn.network import Sequential
-from repro.nn.tensor import FeatureMap
 from repro.quant.quantize import quantize_network
 
 

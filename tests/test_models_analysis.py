@@ -1,6 +1,5 @@
 """Tests for complexity accounting, model scanning, quality and sparsity models."""
 
-import numpy as np
 import pytest
 
 from repro.models.baselines import (
@@ -10,7 +9,7 @@ from repro.models.baselines import (
     build_srresnet,
     build_vdsr,
 )
-from repro.models.complexity import kop_per_pixel, model_complexity, parameter_count, required_tops
+from repro.models.complexity import model_complexity, parameter_count, required_tops
 from repro.models.quality import (
     QualityModel,
     REFERENCE_PSNR,

@@ -1,6 +1,5 @@
 """Tests for the ERNet model family: ERModule, builders and hyper-parameters."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.workloads import synthetic_image

@@ -1,6 +1,5 @@
 """Unit tests for Sequential / Network containers and receptive-field geometry."""
 
-import numpy as np
 import pytest
 
 from repro.nn.layers import Conv2d, ReLU, Residual

@@ -5,9 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.models.ernet import build_dnernet
-from repro.nn.layers import Conv2d
 from repro.nn.network import Sequential, iter_conv_layers
-from repro.nn.tensor import FeatureMap
 from repro.quant import (
     QFormat,
     mse,

@@ -63,6 +63,23 @@ class TestResultCache:
         assert cache.key("a") not in cache  # least recently used fell out
         assert cache.key("c") in cache
 
+    def test_eviction_counter_in_stats(self):
+        cache = ResultCache(max_entries=2)
+        for value in ("a", "b", "c", "d"):
+            cache.get_or_compute(cache.key(value), lambda v=value: v)
+        stats = cache.stats
+        assert stats.evictions == 2
+        assert stats.entries == 2
+        assert "2 evicted" in stats.describe()
+        # Unbounded caches never evict and the line stays clean.
+        unbounded = ResultCache()
+        unbounded.get_or_compute(unbounded.key("x"), lambda: "x")
+        assert unbounded.stats.evictions == 0
+        assert "evicted" not in unbounded.stats.describe()
+        # reset_stats clears the eviction counter with the others.
+        cache.reset_stats()
+        assert cache.stats.evictions == 0
+
     def test_workload_profile_is_cached(self):
         cache = ResultCache()
         first = workload("denoise").profile(cache=cache)
@@ -207,6 +224,43 @@ class TestServingEngine:
         engine = ServingEngine(cache=ResultCache())
         with pytest.raises(KeyError):
             engine.submit("s0", "no-such-workload")
+
+    def test_cycles_per_block_matches_processor_timing_model(self):
+        """Regression: analytics must charge IDU-bound pipeline stages.
+
+        ``cycles_per_block`` used to sum CIU cycles only, undercounting
+        whenever the IDU's parameter decode dominated a stage; it must equal
+        the processor's pipelined block latency exactly.
+        """
+        from repro.fbisa.compiler import compile_network
+        from repro.hw.processor import EcnnProcessor
+
+        engine = ServingEngine(num_instances=1, cache=ResultCache())
+        for name in ("denoise", "super_resolution"):
+            analytics = engine.analyze(name)
+            entry = workload(name)
+            network = entry.build_network()
+            config, block = entry.evaluation_context(network, engine.config)
+            compiled = compile_network(network, input_block=block)
+            processor = EcnnProcessor(config)
+            processor.load(compiled)
+            assert analytics.cycles_per_block == processor.block_report().pipelined_cycles
+
+    def test_cycles_per_block_idu_bound_synthetic(self):
+        """When parameter decode dominates every stage, IDU cycles set the pace."""
+        from repro.api.results import CostReport
+        from repro.runtime.engine import WorkloadAnalytics
+
+        analytics = WorkloadAnalytics(
+            workload="w",
+            model_name="M",
+            profile=_profiles()["a"],
+            layer_timing=(("l0", 10, 100), ("l1", 10, 100)),
+            cost=CostReport(backend="ecnn", area_mm2=1.0, technology_nm=40),
+        )
+        # Pipeline: first decode (100) + max(10, 100) + max(10, 0) = 210,
+        # not the CIU-only 20 the old accounting reported.
+        assert analytics.cycles_per_block == 210
 
 
 # ---------------------------------------------------------------------- sweep
