@@ -15,7 +15,7 @@ _README = _ROOT / "README.md"
 
 setup(
     name="repro-ecnn",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of eCNN (MICRO 2019): block-based CNN accelerator "
         "models with a multi-stream serving runtime"
@@ -31,6 +31,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-runtime=repro.runtime.cli:main",
+            "repro-bench=repro.bench.cli:main",
         ]
     },
     classifiers=[

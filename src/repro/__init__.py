@@ -23,8 +23,8 @@ Subpackages
     Comparator systems: frame-based flow, fused-layer flow, Diffy, IDEAL,
     Eyeriss and a SCALE-Sim-style systolic array.
 ``repro.analysis``
-    Workload generators, sweeps and report formatting used by the benchmark
-    harness.
+    Workload generators, sweeps and report formatting used by the
+    paper-figure benchmark suite (``benchmarks/``).
 ``repro.runtime``
     Multi-scenario serving layer: request batching across simulated
     accelerator instances, a content-addressed analytic-result cache,
@@ -35,9 +35,18 @@ Subpackages
     protocol and registry (eCNN plus every baseline as a pluggable backend),
     the :class:`~repro.api.session.Session` owning backend/cache/workload
     selection, and the frozen :class:`~repro.api.results.PerfProfile` /
-    :class:`~repro.api.results.CostReport` result types.
+    :class:`~repro.api.results.CostReport` result types.  (The old
+    direct-module entry points ``analyze_performance`` / ``analyze_area``
+    survive only as ``DeprecationWarning`` shims pointing here.)
+``repro.bench``
+    The performance harness: a scenario suite over the serving hot paths,
+    ``BENCH_<n>.json`` reports and the ``repro-bench`` CLI.
+``repro.hotpath``
+    Process-level memoization of deterministic hot paths (catalogue network
+    builds, FBISA compilations, block reports), A/B-toggleable for honest
+    baseline measurements.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

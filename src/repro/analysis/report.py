@@ -1,7 +1,8 @@
-"""Plain-text table formatting for the benchmark harness.
+"""Plain-text table formatting shared by every reporting surface.
 
-Every bench prints the rows/series of the paper table or figure it
-regenerates; this module keeps the formatting consistent.
+The paper-figure benchmarks print the rows/series of the table or figure
+they regenerate, and the serving CLI and :mod:`repro.bench` harness print
+their reports through the same formatter, so all output stays consistent.
 """
 
 from __future__ import annotations

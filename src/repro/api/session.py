@@ -92,7 +92,13 @@ class Session:
             ) from exc
 
     def network(self, workload_name: str) -> Network:
-        """Build the workload's network (deterministic, so not cached)."""
+        """Build a fresh instance of the workload's network.
+
+        Deliberately *not* the memoized shared instance: the caller may
+        mutate what this returns (e.g. quantization round-trips), so it gets
+        a private copy.  The analytic paths (:meth:`compile` and everything
+        derived from it) use the read-only shared build.
+        """
         return self.workload(workload_name).build_network()
 
     # ------------------------------------------------------------ evaluation
@@ -121,7 +127,7 @@ class Session:
         entry = self.workload(workload_name)
         return self.cache.get_or_compute(
             self._key("plan", entry),
-            lambda: self.backend.compile(entry.build_network(), entry.spec),
+            lambda: self.backend.compile(entry.shared_network(), entry.spec),
         )
 
     def profile(self, workload_name: str) -> PerfProfile:

@@ -1,0 +1,46 @@
+"""repro.bench — the performance harness over the serving hot paths.
+
+Times the paths the system actually serves from — ``Session.compile`` /
+``profile`` across backends, :meth:`~repro.runtime.engine.ServingEngine.run`
+on synthetic traffic, pixel serving, cross-backend sweeps — and emits
+machine-readable ``BENCH_<n>.json`` reports (wall time, throughput, cache
+hit rates, per-phase breakdown) plus a human table.  The
+``hotpath_memoization`` scenario keeps the optimization story honest: it
+re-measures the baseline (process memos disabled) against the optimized
+path on every run and asserts the analytic figures are bit-identical.
+
+Run it as ``repro-bench`` (or ``python -m repro.bench``); see
+``docs/performance.md`` for the reading guide.
+"""
+
+from repro.bench.harness import (
+    BenchDeterminismError,
+    BenchReport,
+    BenchResult,
+    BenchScenario,
+    BenchSuite,
+    PhaseRecorder,
+    SCHEMA,
+    ScenarioOutcome,
+    compare_reports,
+    next_output_path,
+    run_scenario,
+)
+from repro.bench.scenarios import CATALOGUE, default_suite, suite_backends
+
+__all__ = [
+    "BenchDeterminismError",
+    "BenchReport",
+    "BenchResult",
+    "BenchScenario",
+    "BenchSuite",
+    "CATALOGUE",
+    "PhaseRecorder",
+    "SCHEMA",
+    "ScenarioOutcome",
+    "compare_reports",
+    "default_suite",
+    "next_output_path",
+    "run_scenario",
+    "suite_backends",
+]

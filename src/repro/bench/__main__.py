@@ -1,0 +1,5 @@
+"""Module entry point for ``python -m repro.bench``."""
+
+from repro.bench.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""The ``repro-bench`` command: run the suite, print the table, write JSON.
+
+By default every scenario of the default suite runs three times and the
+report is written to the first unused ``BENCH_<n>.json`` in the working
+directory (so successive runs build a perf trajectory: ``BENCH_0.json``,
+``BENCH_1.json``, ...).  ``--scenario`` substring-filters the suite,
+``--compare`` diffs the new run against a previous report, and ``--list``
+shows what would run.  See ``docs/performance.md`` for the reading guide.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bench.harness import BenchReport, compare_reports, next_output_path
+from repro.bench.scenarios import default_suite, suite_backends
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the serving hot paths and record BENCH_<n>.json.",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="measured passes per scenario (default: 3)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="SUBSTRING",
+        help="only run scenarios whose id contains SUBSTRING (repeatable)",
+    )
+    parser.add_argument(
+        "--output",
+        default="auto",
+        help="JSON report path; 'auto' picks the next free BENCH_<n>.json, "
+        "'-' disables the JSON output (default: auto)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BENCH_JSON",
+        help="also print a best-time comparison against a previous report",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the suite's scenario ids and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    suite = default_suite()
+    if args.scenario:
+        try:
+            suite = suite.select(args.scenario)
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+    if args.list:
+        for scenario in suite.scenarios:
+            print(f"{scenario.scenario_id:50s} {scenario.description}")
+        return 0
+
+    print(
+        f"running {len(suite.scenarios)} scenario(s) across backends "
+        f"{', '.join(suite_backends(suite))} ({args.repeats} repeat(s) each)"
+    )
+    report = suite.run(repeats=args.repeats, progress=lambda sid: print(f"  ... {sid}"))
+    print()
+    print(report.render())
+
+    if args.compare is not None:
+        previous = BenchReport.load(args.compare)
+        print()
+        print(compare_reports(previous, report))
+
+    if args.output != "-":
+        path = (
+            next_output_path(Path.cwd())
+            if args.output == "auto"
+            else Path(args.output)
+        )
+        report.save(path)
+        print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

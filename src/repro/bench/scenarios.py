@@ -1,0 +1,294 @@
+"""The default bench suite: every serving hot path, measured.
+
+Scenario families (see ``docs/performance.md`` for the full reading guide):
+
+* ``profile_*`` — :meth:`repro.api.Session.compile` / ``profile`` across
+  the catalogue, cold (fresh cache, cleared memos), memoized (fresh cache,
+  warm process memos) and warm (every answer already in the
+  :class:`~repro.runtime.cache.ResultCache`);
+* ``sweep_backends`` — :func:`repro.analysis.sweeps.cross_backend_sweep`
+  over every registered backend;
+* ``serving_*`` — :meth:`repro.runtime.engine.ServingEngine.run` draining
+  synthetic traffic traces at several instance counts and batch budgets;
+* ``execute_frame_*`` — the pixel-serving path on the block-based eCNN
+  backend and a whole-frame baseline;
+* ``hotpath_memoization`` — the A/B scenario: the same profile pass with
+  the process-level memos disabled (baseline) and enabled (optimized),
+  recording the measured speedup and checking the analytic figures are
+  bit-identical between the two modes.
+
+Every scenario is deterministic in its *figures* (seeded workloads, stable
+scenario ids); only wall time varies run to run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+from repro import hotpath
+from repro.analysis.sweeps import cross_backend_sweep
+from repro.analysis.workloads import synthetic_image
+from repro.api import Session, available_backends
+from repro.bench.harness import BenchScenario, BenchSuite, PhaseRecorder, ScenarioOutcome
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import ServingEngine
+from repro.runtime.trace import trace
+
+#: The four deployment scenarios of Sections 7.2-7.3, in catalogue order.
+CATALOGUE: Tuple[str, ...] = ("denoise", "super_resolution", "style_transfer", "recognition")
+
+
+def _cache_pairs(cache: ResultCache):
+    stats = cache.stats
+    return (
+        ("hits", float(stats.hits)),
+        ("misses", float(stats.misses)),
+        ("hit_rate", stats.hit_rate),
+        ("entries", float(stats.entries)),
+    )
+
+
+def _profile_pass(recorder: PhaseRecorder, session: Session):
+    """Compile + profile the whole catalogue on ``session``; returns figures."""
+    figures = []
+    for name in CATALOGUE:
+        with recorder.phase("compile"):
+            session.compile(name)
+        with recorder.phase("profile"):
+            profile = session.profile(name)
+        figures.append((f"fps:{name}", 1.0 / profile.frame_latency_s))
+    return tuple(figures)
+
+
+def _profile_scenario(name: str, description: str, *, cold: bool, setup_prime: bool):
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        if cold:
+            hotpath.clear_all()
+        cache = ResultCache()
+        session = Session(backend="ecnn", cache=cache)
+        figures = _profile_pass(recorder, session)
+        return ScenarioOutcome(
+            units=float(len(CATALOGUE)), figures=figures, cache=_cache_pairs(cache)
+        )
+
+    setup = None
+    if setup_prime:
+
+        def setup() -> None:
+            _profile_pass(PhaseRecorder(), Session(backend="ecnn", cache=ResultCache()))
+
+    return BenchScenario(
+        name=name,
+        description=description,
+        backends=("ecnn",),
+        unit="profiles",
+        run=run,
+        setup=setup,
+    )
+
+
+def _warm_cache_scenario():
+    session = Session(backend="ecnn", cache=ResultCache())
+
+    def setup() -> None:
+        _profile_pass(PhaseRecorder(), session)
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        figures = _profile_pass(recorder, session)
+        return ScenarioOutcome(
+            units=float(len(CATALOGUE)), figures=figures, cache=_cache_pairs(session.cache)
+        )
+
+    return BenchScenario(
+        name="profile_warm_cache",
+        description="catalogue profiles answered from one warm ResultCache",
+        backends=("ecnn",),
+        unit="profiles",
+        run=run,
+        setup=setup,
+    )
+
+
+def _sweep_scenario():
+    backends = available_backends()
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        cache = ResultCache()
+        with recorder.phase("sweep"):
+            rows = cross_backend_sweep(CATALOGUE, backends, cache=cache)
+        figures = tuple(
+            (f"fps:{workload}:{backend}", 1.0 / profile.frame_latency_s)
+            for workload, backend, profile in rows
+        )
+        return ScenarioOutcome(
+            units=float(len(rows)), figures=figures, cache=_cache_pairs(cache)
+        )
+
+    def setup() -> None:
+        cross_backend_sweep(CATALOGUE, backends, cache=ResultCache())
+
+    return BenchScenario(
+        name="sweep_backends",
+        description="cross_backend_sweep: catalogue x every registered backend",
+        backends=backends,
+        unit="profiles",
+        run=run,
+        setup=setup,
+    )
+
+
+def _serving_scenario(
+    trace_name: str, backend: str, instances: int, batch_frames: int
+):
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        cache = ResultCache()
+        engine = ServingEngine(
+            num_instances=instances,
+            max_batch_frames=batch_frames,
+            backend=backend,
+            cache=cache,
+        )
+        selected = trace(trace_name)
+        with recorder.phase("admit"):
+            engine.play(selected)
+        with recorder.phase("schedule"):
+            report = engine.run()
+        schedule = report.schedule
+        return ScenarioOutcome(
+            units=float(schedule.total_frames),
+            figures=(
+                ("makespan_s", schedule.makespan_s),
+                ("throughput_fps", schedule.throughput_fps),
+                ("batches", float(len(schedule.batches))),
+            ),
+            cache=_cache_pairs(cache),
+        )
+
+    def setup() -> None:
+        # Prime the process memos so the scenario measures the serving
+        # machinery (queueing, batching, placement), not a first cold build.
+        for name in CATALOGUE:
+            Session(backend=backend, cache=ResultCache()).serving_profile(name)
+
+    return BenchScenario(
+        name=f"serving_{trace_name}_i{instances}_b{batch_frames}",
+        description=(
+            f"ServingEngine.run on the {trace_name!r} trace, "
+            f"{instances} instance(s), batch budget {batch_frames}"
+        ),
+        backends=(backend,),
+        unit="frames",
+        run=run,
+        setup=setup,
+    )
+
+
+def _execute_frame_scenario(backend: str, size: int = 96):
+    session = Session(backend=backend, cache=ResultCache())
+    image = synthetic_image(size, size, seed=7)
+
+    def setup() -> None:
+        session.execute("denoise", image)
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        with recorder.phase("execute"):
+            result = session.execute("denoise", image)
+        output = result.output.data
+        return ScenarioOutcome(
+            units=float(output.shape[-2] * output.shape[-1]),
+            figures=(("output_mean_abs", float(abs(output).mean())),),
+            cache=_cache_pairs(session.cache),
+        )
+
+    return BenchScenario(
+        name=f"execute_frame_denoise_{size}px",
+        description=f"pixel serving: one {size}x{size} denoise frame end to end",
+        backends=(backend,),
+        unit="pixels",
+        run=run,
+        setup=setup,
+    )
+
+
+def _hotpath_scenario(optimized_passes: int = 5):
+    def one_pass() -> Tuple[Tuple[str, float], ...]:
+        session = Session(backend="ecnn", cache=ResultCache())
+        return tuple(
+            (f"fps:{name}", 1.0 / session.profile(name).frame_latency_s)
+            for name in CATALOGUE
+        )
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        with recorder.phase("baseline"):
+            with hotpath.disabled():
+                start = time.perf_counter()
+                baseline_figures = one_pass()
+                baseline_s = time.perf_counter() - start
+        with recorder.phase("optimized"):
+            hotpath.clear_all()
+            one_pass()  # prime: the steady state is what the memos buy
+            start = time.perf_counter()
+            for _ in range(optimized_passes):
+                optimized_figures = one_pass()
+            optimized_s = (time.perf_counter() - start) / optimized_passes
+        if optimized_figures != baseline_figures:
+            raise AssertionError(
+                "hot-path memoization changed analytic figures: "
+                f"{baseline_figures} != {optimized_figures}"
+            )
+        return ScenarioOutcome(
+            units=2.0,
+            figures=baseline_figures,
+            extra=(
+                ("baseline_s", baseline_s),
+                ("optimized_s", optimized_s),
+                ("speedup", baseline_s / optimized_s),
+            ),
+        )
+
+    return BenchScenario(
+        name="hotpath_memoization",
+        description=(
+            "A/B of the fresh-session catalogue profile pass with process "
+            "memos disabled vs enabled (figures must be bit-identical)"
+        ),
+        backends=("ecnn",),
+        unit="passes",
+        run=run,
+    )
+
+
+def default_suite() -> BenchSuite:
+    """The standard ``repro-bench`` suite (what ``BENCH_<n>.json`` records)."""
+    scenarios = [
+        _profile_scenario(
+            "profile_cold",
+            "catalogue compile+profile from scratch (fresh cache, cleared memos)",
+            cold=True,
+            setup_prime=False,
+        ),
+        _profile_scenario(
+            "profile_memoized",
+            "catalogue compile+profile on a fresh cache with warm process memos",
+            cold=False,
+            setup_prime=True,
+        ),
+        _warm_cache_scenario(),
+        _sweep_scenario(),
+        _serving_scenario("demo", "ecnn", 1, 8),
+        _serving_scenario("demo", "ecnn", 2, 8),
+        _serving_scenario("demo", "ecnn", 4, 16),
+        _serving_scenario("steady", "ecnn", 2, 8),
+        _serving_scenario("burst", "eyeriss", 2, 8),
+        _execute_frame_scenario("ecnn"),
+        _execute_frame_scenario("frame_based"),
+        _hotpath_scenario(),
+    ]
+    return BenchSuite("default", scenarios)
+
+
+def suite_backends(suite: BenchSuite) -> Tuple[str, ...]:
+    """Sorted union of every backend the suite's scenarios touch."""
+    names = sorted({name for scenario in suite.scenarios for name in scenario.backends})
+    return tuple(names)

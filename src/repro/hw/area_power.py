@@ -1,8 +1,8 @@
 """Area and power model of the eCNN processor (Table 6, Fig. 20).
 
 The paper's layout results are summarised by per-component constants; this
-module exposes them as an analytical model so the benchmark harness can
-regenerate Table 6 and Fig. 20 and so what-if studies (e.g. tripling the
+module exposes them as an analytical model so the paper-figure benchmarks
+can regenerate Table 6 and Fig. 20 and so what-if studies (e.g. tripling the
 parameter memory for the recognition case study, Section 7.3) scale the
 right components.
 

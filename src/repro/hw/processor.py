@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import hotpath
 from repro.core.blockflow import (
     BlockGrid,
     _crop_to_block,
@@ -30,10 +31,25 @@ from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
 from repro.hw.idu import idu_cycles
 from repro.nn.tensor import FeatureMap
 
+#: Process-level memo of per-program block reports.  The report is a pure
+#: function of (program, IDU decode rate) and compiled models are immutable
+#: once built, so entries live on the model object itself and die with it.
+#: Every profile, analytics query and recognition case-study evaluation of
+#: the same compiled model shares one report.
+_BLOCK_REPORT_MEMO = hotpath.Memo("block-reports")
+
 
 @dataclass(frozen=True)
 class BlockExecutionReport:
-    """Cycle accounting for one block of one program."""
+    """Cycle accounting for one block of one program.
+
+    The pipeline accounting is computed once per report, vectorized: each
+    stage costs ``max(CIU_i, IDU_{i+1})``, so the whole stage array is a
+    single elementwise maximum of the CIU cycles against the IDU cycles
+    shifted by one instruction.  Reports are frozen, so the derived figures
+    are cached on first access (the serving engine and the recognition
+    profile ask for ``pipelined_cycles`` repeatedly).
+    """
 
     ciu_cycles_per_instruction: tuple[int, ...]
     idu_cycles_per_instruction: tuple[int, ...]
@@ -46,29 +62,44 @@ class BlockExecutionReport:
     def idu_total(self) -> int:
         return sum(self.idu_cycles_per_instruction)
 
+    def _stage_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(CIU cycles, next-instruction IDU cycles) per pipeline stage."""
+        cached = self.__dict__.get("_stages")
+        if cached is None:
+            ciu = np.asarray(self.ciu_cycles_per_instruction, dtype=np.int64)
+            idu = np.asarray(self.idu_cycles_per_instruction, dtype=np.int64)
+            next_idu = np.zeros_like(ciu)
+            if ciu.size:
+                # Stage i overlaps the decode of instruction i+1; the last
+                # stage (and any stage past the IDU sequence) has no decode
+                # to hide, hence the zero fill.
+                tail = idu[1 : ciu.size + 1]
+                next_idu[: tail.size] = tail
+            cached = (ciu, next_idu)
+            object.__setattr__(self, "_stages", cached)
+        return cached
+
     @property
     def pipelined_cycles(self) -> int:
         """Block latency under the IDU/CIU instruction pipeline."""
-        ciu = self.ciu_cycles_per_instruction
-        idu = self.idu_cycles_per_instruction
-        if not ciu:
-            return 0
-        cycles = idu[0]  # fill the pipeline with the first decode
-        for index in range(len(ciu)):
-            next_idu = idu[index + 1] if index + 1 < len(idu) else 0
-            cycles += max(ciu[index], next_idu)
-        return cycles
+        cached = self.__dict__.get("_pipelined_cycles")
+        if cached is None:
+            ciu, next_idu = self._stage_arrays()
+            if not ciu.size:
+                cached = 0
+            else:
+                # Fill the pipeline with the first decode, then pay the
+                # elementwise maximum of compute vs. next decode per stage.
+                fill = self.idu_cycles_per_instruction[0] if self.idu_cycles_per_instruction else 0
+                cached = int(fill + np.maximum(ciu, next_idu).sum())
+            object.__setattr__(self, "_pipelined_cycles", cached)
+        return cached
 
     @property
     def idu_bound_stages(self) -> int:
         """How many pipeline stages were limited by parameter decoding."""
-        ciu = self.ciu_cycles_per_instruction
-        idu = self.idu_cycles_per_instruction
-        return sum(
-            1
-            for index in range(len(ciu))
-            if index + 1 < len(idu) and idu[index + 1] > ciu[index]
-        )
+        ciu, next_idu = self._stage_arrays()
+        return int(np.count_nonzero(next_idu > ciu))
 
 
 @dataclass
@@ -133,16 +164,26 @@ class EcnnProcessor:
         return self._model
 
     def block_report(self) -> BlockExecutionReport:
-        """Cycle accounting for one block of the loaded program."""
-        instructions: List[Instruction] = list(self.model.program)
-        return BlockExecutionReport(
-            ciu_cycles_per_instruction=tuple(
-                ciu_cycles(instruction, self.config) for instruction in instructions
-            ),
-            idu_cycles_per_instruction=tuple(
-                idu_cycles(instruction, self.config) for instruction in instructions
-            ),
-        )
+        """Cycle accounting for one block of the loaded program (memoized).
+
+        The accounting depends only on the program and the IDU decode rate
+        (CIU cycles are configuration-independent), so the report is cached
+        on the compiled model keyed by ``idu_cycles_per_leaf``.
+        """
+        model = self.model
+
+        def build() -> BlockExecutionReport:
+            instructions: List[Instruction] = list(model.program)
+            return BlockExecutionReport(
+                ciu_cycles_per_instruction=tuple(
+                    ciu_cycles(instruction, self.config) for instruction in instructions
+                ),
+                idu_cycles_per_instruction=tuple(
+                    idu_cycles(instruction, self.config) for instruction in instructions
+                ),
+            )
+
+        return _BLOCK_REPORT_MEMO.get_or_attr(model, self.config.idu_cycles_per_leaf, build)
 
     def execute_block(self, block: FeatureMap) -> FeatureMap:
         """Functionally execute one input block through the loaded program."""
