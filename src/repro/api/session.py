@@ -51,6 +51,10 @@ class Session:
         :class:`ResultCache` for isolation or a bounded footprint.
     workloads:
         Workload registry; defaults to the live serving catalogue.
+    frame_cache_entries:
+        Residency bound of the per-session pixel-result cache (LRU).  Frame
+        results carry pixel data, so unlike the analytic cache this one is
+        always bounded.
     """
 
     def __init__(
@@ -60,8 +64,9 @@ class Session:
         config: EcnnConfig = DEFAULT_CONFIG,
         cache: Optional[ResultCache] = None,
         workloads: Optional[Mapping[str, RuntimeWorkload]] = None,
+        frame_cache_entries: int = 64,
     ) -> None:
-        from repro.runtime.cache import DEFAULT_CACHE
+        from repro.runtime.cache import DEFAULT_CACHE, ResultCache
         from repro.runtime.workloads import WORKLOADS
 
         self.config = config
@@ -72,6 +77,11 @@ class Session:
         self._workloads: Mapping[str, RuntimeWorkload] = (
             workloads if workloads is not None else WORKLOADS
         )
+        #: Bounded content-addressed cache of pixel results: unlike the
+        #: analytic ``cache`` (small dataclasses, unbounded), frame results
+        #: carry pixel data, so residency is capped and LRU-evicted.
+        #: Serving the same frame of the same workload twice is a lookup.
+        self.frame_cache = ResultCache(max_entries=frame_cache_entries)
 
     # ------------------------------------------------------------- registries
     @property
@@ -147,16 +157,125 @@ class Session:
         )
         return self.cache.get_or_compute(key, self.backend.cost)
 
-    def execute(self, workload_name: str, frame: FeatureMap) -> InferenceResult:
+    def _pixel_entry(self, workload_name: str) -> RuntimeWorkload:
+        entry = self.workload(workload_name)
+        if entry.kind == "recognition":
+            raise ValueError("recognition serves single zero-padded blocks, not block flow")
+        return entry
+
+    def _frame_key(
+        self, entry: RuntimeWorkload, frame: FeatureMap, parallel: bool
+    ) -> str:
+        """Content address of one frame's pixel result under this session."""
+        import hashlib
+
+        from repro.runtime.cache import ResultCache
+
+        digest = hashlib.sha256(frame.data.tobytes()).hexdigest()
+        return ResultCache.key(
+            "api",
+            "frame",
+            self.backend_name,
+            self._backend_identity(),
+            entry.cache_key(self.config),
+            frame.shape,
+            frame.data.dtype.str,
+            frame.qformat,
+            digest,
+            parallel,
+        )
+
+    def execute(
+        self,
+        workload_name: str,
+        frame: FeatureMap,
+        *,
+        parallel: bool = True,
+        cached: bool = True,
+    ) -> InferenceResult:
         """Run one frame of pixels through the backend's compiled plan.
 
         Only block-flow workloads support pixel serving (recognition runs
         single zero-padded blocks, as in the legacy engine path).
+
+        ``parallel`` selects the block-parallel fused execution (default) or
+        the scalar one-block-at-a-time flow; outputs are bit-identical.
+        With ``cached=True`` results are content-addressed in the session's
+        bounded :attr:`frame_cache`, so serving the same frame twice is a
+        lookup — pass ``cached=False`` to force a fresh computation (the
+        parity checks do).
         """
-        entry = self.workload(workload_name)
-        if entry.kind == "recognition":
-            raise ValueError("recognition serves single zero-padded blocks, not block flow")
-        return self.backend.execute(self.compile(workload_name), frame)
+        entry = self._pixel_entry(workload_name)
+        compute = lambda: self.backend.execute(  # noqa: E731
+            self.compile(workload_name), frame, parallel=parallel
+        )
+        if not cached:
+            return compute()
+        return self.frame_cache.get_or_compute(
+            self._frame_key(entry, frame, parallel), compute
+        )
+
+    def execute_many(
+        self,
+        workload_name: str,
+        frames: Sequence[FeatureMap],
+        *,
+        parallel: bool = True,
+        cached: bool = True,
+    ) -> List[InferenceResult]:
+        """Run several frames of one workload, batched across frames.
+
+        Frames already in the :attr:`frame_cache` are answered from it; the
+        remainder execute together through the backend's ``execute_batch``
+        (corresponding blocks of same-sized frames share fused network
+        passes) and are cached for the next request.  Backends without an
+        ``execute_batch`` method fall back to per-frame execution.
+        """
+        entry = self._pixel_entry(workload_name)
+        results: List[Optional[InferenceResult]] = [None] * len(frames)
+        misses: List[int] = []
+        if cached:
+            seen: Dict[str, List[int]] = {}
+            keys: List[str] = []
+            for index, frame in enumerate(frames):
+                key = self._frame_key(entry, frame, parallel)
+                keys.append(key)
+                if key in self.frame_cache:
+                    results[index] = self.frame_cache.get_or_compute(
+                        key, lambda: None  # never called: key is resident
+                    )
+                elif key in seen:
+                    # Duplicate frame within this batch: compute once,
+                    # fan the result out below.
+                    seen[key].append(index)
+                else:
+                    seen[key] = [index]
+                    misses.append(index)
+        else:
+            misses = list(range(len(frames)))
+        if misses:
+            plan = self.compile(workload_name)
+            batch = getattr(self.backend, "execute_batch", None)
+            if callable(batch):
+                fresh = batch(
+                    plan, [frames[index] for index in misses], parallel=parallel
+                )
+            else:
+                fresh = [
+                    self.backend.execute(plan, frames[index], parallel=parallel)
+                    for index in misses
+                ]
+            for index, result in zip(misses, fresh):
+                if cached:
+                    self.frame_cache.get_or_compute(
+                        keys[index], lambda value=result: value
+                    )
+                    for duplicate in seen[keys[index]]:
+                        results[duplicate] = result
+                else:
+                    results[index] = result
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
 
     # --------------------------------------------------------------- serving
     def serving_profile(self, workload_name: str) -> WorkloadProfile:

@@ -4,8 +4,12 @@ By default every scenario of the default suite runs three times and the
 report is written to the first unused ``BENCH_<n>.json`` in the working
 directory (so successive runs build a perf trajectory: ``BENCH_0.json``,
 ``BENCH_1.json``, ...).  ``--scenario`` substring-filters the suite,
-``--compare`` diffs the new run against a previous report, and ``--list``
-shows what would run.  See ``docs/performance.md`` for the reading guide.
+``--compare OLD`` diffs a fresh run against a previous report while
+``--compare OLD NEW`` diffs two recorded reports without running anything,
+``--fail-over PCT`` turns the comparison into a regression gate (non-zero
+exit when any pinned scenario got more than PCT percent slower), and
+``--list`` shows what would run.  See ``docs/performance.md`` for the
+reading guide.
 """
 
 from __future__ import annotations
@@ -14,7 +18,12 @@ import argparse
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.bench.harness import BenchReport, compare_reports, next_output_path
+from repro.bench.harness import (
+    BenchReport,
+    compare_reports,
+    find_regressions,
+    next_output_path,
+)
 from repro.bench.scenarios import default_suite, suite_backends
 
 
@@ -45,9 +54,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--compare",
         type=Path,
+        nargs="+",
         default=None,
         metavar="BENCH_JSON",
-        help="also print a best-time comparison against a previous report",
+        help="one path: best-time comparison of a fresh run against that "
+        "report; two paths (OLD NEW): compare the two recorded reports "
+        "without running anything",
+    )
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="with --compare: exit non-zero when any scenario present in "
+        "both reports regressed by more than PCT percent (best wall time)",
     )
     parser.add_argument(
         "--list",
@@ -57,11 +77,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_regressions(
+    before: BenchReport, after: BenchReport, threshold_pct: Optional[float]
+) -> int:
+    """Print the comparison (and the regression verdict); return exit code."""
+    print(compare_reports(before, after))
+    if threshold_pct is None:
+        return 0
+    regressions = find_regressions(before, after, threshold_pct)
+    if regressions:
+        print(f"\nregressions over the {threshold_pct:g}% threshold:")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    print(f"\nno scenario regressed more than {threshold_pct:g}%")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+    if args.compare is not None and len(args.compare) > 2:
+        parser.error("--compare takes one or two report paths")
+    if args.fail_over is not None and args.compare is None:
+        parser.error("--fail-over needs --compare")
+    if args.fail_over is not None and args.fail_over < 0:
+        parser.error("--fail-over must be non-negative")
+
+    if args.compare is not None and len(args.compare) == 2:
+        # Pure report-to-report mode: nothing runs, nothing is written, so
+        # run-only flags would be silently ignored — reject them instead.
+        if args.scenario or args.list or args.repeats != 3 or args.output != "auto":
+            parser.error(
+                "--compare OLD NEW compares two recorded reports without "
+                "running; --scenario/--repeats/--output/--list do not apply"
+            )
+        before = BenchReport.load(args.compare[0])
+        after = BenchReport.load(args.compare[1])
+        return _check_regressions(before, after, args.fail_over)
 
     suite = default_suite()
     if args.scenario:
@@ -82,10 +137,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print()
     print(report.render())
 
+    exit_code = 0
     if args.compare is not None:
-        previous = BenchReport.load(args.compare)
+        previous = BenchReport.load(args.compare[0])
         print()
-        print(compare_reports(previous, report))
+        exit_code = _check_regressions(previous, report, args.fail_over)
 
     if args.output != "-":
         path = (
@@ -95,7 +151,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         report.save(path)
         print(f"\nwrote {path}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -385,3 +385,50 @@ def compare_reports(before: BenchReport, after: BenchReport) -> str:
         ["scenario", "before ms", "after ms", "speedup"],
         rows,
     )
+
+
+@dataclass(frozen=True)
+class ScenarioRegression:
+    """One scenario whose best time regressed between two reports."""
+
+    scenario: str
+    before_s: float
+    after_s: float
+
+    @property
+    def regression_pct(self) -> float:
+        """How much slower the scenario got, in percent of the old time."""
+        if self.before_s <= 0:
+            return float("inf")
+        return (self.after_s / self.before_s - 1.0) * 100.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.scenario}: {self.before_s * 1e3:.2f} ms -> "
+            f"{self.after_s * 1e3:.2f} ms (+{self.regression_pct:.0f}%)"
+        )
+
+
+def find_regressions(
+    before: BenchReport, after: BenchReport, threshold_pct: float
+) -> List[ScenarioRegression]:
+    """Scenarios of ``after`` slower than ``before`` by more than the threshold.
+
+    Only scenario ids present in both reports are considered (the pinned ids
+    of ``tests/test_bench.py`` keep those stable across commits); new or
+    removed scenarios never count as regressions.
+    """
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be non-negative")
+    before_by_id = {result.scenario: result for result in before.results}
+    regressions: List[ScenarioRegression] = []
+    for result in after.results:
+        old = before_by_id.get(result.scenario)
+        if old is None:
+            continue
+        candidate = ScenarioRegression(
+            scenario=result.scenario, before_s=old.best_s, after_s=result.best_s
+        )
+        if candidate.regression_pct > threshold_pct:
+            regressions.append(candidate)
+    return regressions

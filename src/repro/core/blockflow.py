@@ -16,19 +16,32 @@ required input window is derived by walking the layer stack backwards
 (:func:`input_interval_for_output`): a valid 3x3 convolution widens the window
 by one pixel per side, a pixel-shuffle upsampler divides coordinates by its
 factor, a pooling/unshuffle stage multiplies them.
+
+Block-parallel execution
+------------------------
+All blocks of a frame are independent — the property the eCNN hardware
+exploits with 81 parallel block pipelines.  The functional path exploits it
+too: :func:`block_based_inference` groups the partition grid by input-window
+shape (every interior block is identical; edge remainders form a handful of
+smaller groups), stacks each group into a
+:class:`~repro.nn.tensor.BatchedFeatureMap`, runs the network once per group
+and scatters the cropped results into the stitched output.  The scalar
+one-block-at-a-time flow stays available as ``parallel=False`` and produces
+bit-identical pixels (the batched layer kernels perform the same-shaped
+per-slice arithmetic).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.layers import Layer
 from repro.nn.network import Sequential
 from repro.nn.receptive_field import layer_geometry
-from repro.nn.tensor import FeatureMap
+from repro.nn.tensor import BatchedFeatureMap, FeatureMap
 
 
 @dataclass(frozen=True)
@@ -233,45 +246,175 @@ def frame_based_inference(network: Sequential, image: FeatureMap) -> FeatureMap:
     return result.crop(-produced_row, -produced_col, out_h, out_w)
 
 
+def _block_window(
+    padded: np.ndarray, block: BlockSpec, margin: int
+) -> np.ndarray:
+    """The (view of the) padded-image window one block consumes."""
+    r0 = block.in_row + margin
+    c0 = block.in_col + margin
+    window = padded[:, r0 : r0 + block.in_height, c0 : c0 + block.in_width]
+    if window.shape[1] != block.in_height or window.shape[2] != block.in_width:
+        raise ValueError(
+            "input window exceeds the padded image; "
+            "the network margin accounting is inconsistent"
+        )
+    return window
+
+
+def _scatter_block(output: np.ndarray, block: BlockSpec, result: FeatureMap) -> None:
+    """Write one block's cropped output into the stitched frame."""
+    output[
+        :,
+        block.out_row : block.out_row + block.out_height,
+        block.out_col : block.out_col + block.out_width,
+    ] = result.data
+
+
+#: Input windows at least this large (in pixels) execute scalar even under
+#: ``parallel=True``: their layer passes are BLAS-bound, so fusing buys no
+#: python-overhead amortization while the batch-wide temporaries only add
+#: allocator pressure.  Small-window groups — the many-blocks regime the
+#: paper's 81 parallel pipelines target — are where fusion wins.
+_SCALAR_FALLBACK_WINDOW_PIXELS = 64 * 64
+
+
+def _run_block_groups(
+    network: Sequential,
+    jobs: Sequence[Tuple[BlockSpec, np.ndarray, Optional[str]]],
+) -> List[FeatureMap]:
+    """Run ``(block, window, qformat)`` jobs through the network, batched.
+
+    Jobs whose input windows share a shape (and dtype/Q-format) are stacked
+    into one :class:`BatchedFeatureMap` and run through the network in a
+    single fused pass; the raw group output is then cropped per block.
+    Groups of one block, and groups of large (BLAS-bound) windows, run the
+    scalar ``forward`` instead — same pixels, better allocator behaviour.
+    Returns the cropped per-job outputs in job order.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    for index, (block, window, qformat) in enumerate(jobs):
+        key = (window.shape, window.dtype.str, qformat)
+        groups.setdefault(key, []).append(index)
+    results: List[Optional[FeatureMap]] = [None] * len(jobs)
+    for indices in groups.values():
+        window = jobs[indices[0]][1]
+        window_pixels = window.shape[-2] * window.shape[-1]
+        if len(indices) == 1 or window_pixels >= _SCALAR_FALLBACK_WINDOW_PIXELS:
+            for index in indices:
+                block, window, qformat = jobs[index]
+                raw = network.forward(FeatureMap(data=window.copy(), qformat=qformat))
+                results[index] = _crop_to_block(raw, block, network.layers)
+            continue
+        batch = BatchedFeatureMap(
+            data=np.stack([jobs[index][1] for index in indices]),
+            qformat=jobs[indices[0]][2],
+        )
+        raw = network.forward_batch(batch)
+        for slot, index in enumerate(indices):
+            result = FeatureMap(data=raw.data[slot], qformat=raw.qformat)
+            results[index] = _crop_to_block(result, jobs[index][0], network.layers)
+    return results  # type: ignore[return-value]
+
+
 def block_based_inference(
     network: Sequential,
     image: FeatureMap,
     output_block: int,
+    *,
+    parallel: bool = True,
 ) -> Tuple[FeatureMap, BlockGrid]:
     """Run the block-based truncated-pyramid flow and stitch the result.
 
     Returns the stitched output feature map and the block grid (for overhead
     accounting).  The stitched output equals :func:`frame_based_inference`
     exactly.
+
+    With ``parallel=True`` (the default) the partition grid is grouped by
+    block shape and each group runs through the network as one fused
+    :class:`BatchedFeatureMap` pass; ``parallel=False`` keeps the original
+    one-block-at-a-time execution.  Both paths produce bit-identical output.
     """
     grid = partition_image(image.height, image.width, network, output_block)
     margin = total_input_margin(network.layers)
     padded = np.pad(image.data, ((0, 0), (margin, margin), (margin, margin)))
 
     output: np.ndarray | None = None
-    for block in grid.blocks:
-        r0 = block.in_row + margin
-        c0 = block.in_col + margin
-        window = padded[:, r0 : r0 + block.in_height, c0 : c0 + block.in_width]
-        if window.shape[1] != block.in_height or window.shape[2] != block.in_width:
-            raise ValueError(
-                "input window exceeds the padded image; "
-                "the network margin accounting is inconsistent"
-            )
-        result = network.forward(image.with_data(window.copy()))
-        result = _crop_to_block(result, block, network.layers)
-        if output is None:
-            output = np.zeros(
+    if parallel:
+        jobs = [
+            (block, _block_window(padded, block, margin), image.qformat)
+            for block in grid.blocks
+        ]
+        for block, result in zip(grid.blocks, _run_block_groups(network, jobs)):
+            if output is None:
+                output = np.zeros(
+                    (result.channels, grid.output_height, grid.output_width),
+                    dtype=result.data.dtype,
+                )
+            _scatter_block(output, block, result)
+    else:
+        for block in grid.blocks:
+            window = _block_window(padded, block, margin)
+            result = network.forward(image.with_data(window.copy()))
+            result = _crop_to_block(result, block, network.layers)
+            if output is None:
+                output = np.zeros(
+                    (result.channels, grid.output_height, grid.output_width),
+                    dtype=result.data.dtype,
+                )
+            _scatter_block(output, block, result)
+    assert output is not None
+    return FeatureMap(data=output), grid
+
+
+def block_based_inference_many(
+    network: Sequential,
+    images: Sequence[FeatureMap],
+    output_block: int,
+    *,
+    parallel: bool = True,
+) -> List[Tuple[FeatureMap, BlockGrid]]:
+    """Run several frames through the block flow with cross-frame batching.
+
+    Blocks are pooled across *all* frames before grouping, so corresponding
+    blocks of same-sized frames share fused passes (frames of one workload
+    usually have identical partition grids, making the interior-block group
+    ``num_frames`` times deeper than in single-frame execution).  Each
+    frame's stitched output equals its :func:`block_based_inference` result
+    exactly.
+    """
+    if not images:
+        return []
+    if not parallel:
+        return [
+            block_based_inference(network, image, output_block, parallel=False)
+            for image in images
+        ]
+    margin = total_input_margin(network.layers)
+    grids: List[BlockGrid] = []
+    jobs: List[Tuple[BlockSpec, np.ndarray, Optional[str]]] = []
+    owners: List[int] = []
+    for frame_index, image in enumerate(images):
+        grid = partition_image(image.height, image.width, network, output_block)
+        grids.append(grid)
+        padded = np.pad(image.data, ((0, 0), (margin, margin), (margin, margin)))
+        for block in grid.blocks:
+            jobs.append((block, _block_window(padded, block, margin), image.qformat))
+            owners.append(frame_index)
+    outputs: List[Optional[np.ndarray]] = [None] * len(images)
+    for (block, _, _), owner, result in zip(
+        jobs, owners, _run_block_groups(network, jobs)
+    ):
+        grid = grids[owner]
+        if outputs[owner] is None:
+            outputs[owner] = np.zeros(
                 (result.channels, grid.output_height, grid.output_width),
                 dtype=result.data.dtype,
             )
-        output[
-            :,
-            block.out_row : block.out_row + block.out_height,
-            block.out_col : block.out_col + block.out_width,
-        ] = result.data
-    assert output is not None
-    return FeatureMap(data=output), grid
+        _scatter_block(outputs[owner], block, result)
+    assert all(output is not None for output in outputs)
+    return [
+        (FeatureMap(data=output), grid) for output, grid in zip(outputs, grids)
+    ]
 
 
 def _crop_to_block(

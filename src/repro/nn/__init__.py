@@ -8,11 +8,14 @@ connections, pixel shuffle/unshuffle, strided and max pooling) in both
 ``valid`` padding (the mode the block-based truncated-pyramid flow relies on)
 and ``zero`` padding (the mode frame-based baselines use at image borders).
 
-The engine favours clarity over raw speed; images used in tests and
-benchmarks are small enough that an im2col-based convolution is fast enough.
+The engine favours clarity over raw speed, but the block-parallel serving
+path needs throughput too: every layer also implements ``forward_batch``
+over a :class:`BatchedFeatureMap` of N independent inputs, fusing the whole
+batch into one im2col/matmul (or broadcast) per layer with outputs
+bit-identical to the scalar ``forward`` path.
 """
 
-from repro.nn.tensor import FeatureMap
+from repro.nn.tensor import BatchedFeatureMap, FeatureMap
 from repro.nn.layers import (
     AddBias,
     ClippedReLU,
@@ -40,6 +43,7 @@ from repro.nn.initializers import he_laplace, he_normal, lecun_uniform, seeded_r
 
 __all__ = [
     "AddBias",
+    "BatchedFeatureMap",
     "ClippedReLU",
     "Conv2d",
     "FeatureMap",

@@ -41,7 +41,7 @@ def quantization_error(values: np.ndarray, qformat: QFormat, norm: Norm = "l2") 
     raise ValueError(f"norm must be 'l1' or 'l2', got {norm!r}")
 
 
-def optimal_fraction_bits(
+def _optimal_fraction_bits_scalar(
     values: np.ndarray,
     *,
     bits: int = 8,
@@ -49,12 +49,7 @@ def optimal_fraction_bits(
     norm: Norm = "l2",
     search_range: Iterable[int] = range(-4, 16),
 ) -> QFormat:
-    """Search the fractional precision minimising the quantization error.
-
-    Implements Eq. (4): ``argmin_n sum |x - Q_n(x)|^l`` over a search range of
-    fraction-bit positions.  Ties are broken toward the larger fraction (finer
-    resolution), matching the paper's preference for preserving small values.
-    """
+    """Reference one-candidate-at-a-time search (kept for parity testing)."""
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
         raise ValueError("cannot choose a Q-format for an empty value collection")
@@ -68,6 +63,53 @@ def optimal_fraction_bits(
             best_err = err
     assert best is not None
     return best
+
+
+def optimal_fraction_bits(
+    values: np.ndarray,
+    *,
+    bits: int = 8,
+    signed: bool = True,
+    norm: Norm = "l2",
+    search_range: Iterable[int] = range(-4, 16),
+) -> QFormat:
+    """Search the fractional precision minimising the quantization error.
+
+    Implements Eq. (4): ``argmin_n sum |x - Q_n(x)|^l`` over a search range of
+    fraction-bit positions.  Ties are broken toward the larger fraction (finer
+    resolution), matching the paper's preference for preserving small values.
+
+    The search is vectorized: every candidate's clip-and-round error is
+    evaluated against the sample tensor in one ``(candidates, values)`` numpy
+    pass.  Per-candidate arithmetic and summation order match the scalar
+    reference search exactly, so the chosen format is identical.
+    """
+    if norm not in ("l1", "l2"):
+        raise ValueError(f"norm must be 'l1' or 'l2', got {norm!r}")
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot choose a Q-format for an empty value collection")
+    fracs = np.fromiter(search_range, dtype=np.int64)
+    if fracs.size == 0:
+        raise ValueError("search_range must contain at least one candidate")
+    probe = QFormat(frac=0, bits=bits, signed=signed)  # validates bits
+    steps = (2.0 ** (-fracs.astype(np.float64)))[:, np.newaxis]  # (F, 1) LSBs
+    # One (candidates, values) pass, reusing a single working buffer: round
+    # to codes, clip to the format's range, back to real values, subtract —
+    # the same per-candidate arithmetic (and summation order) as the scalar
+    # reference, so the selected format is bit-for-bit identical.
+    work = values[np.newaxis, :] / steps
+    np.rint(work, out=work)
+    np.clip(work, probe.min_code, probe.max_code, out=work)
+    work *= steps
+    np.subtract(values[np.newaxis, :], work, out=work)
+    if norm == "l1":
+        np.abs(work, out=work)
+    else:
+        np.multiply(work, work, out=work)
+    errors = work.sum(axis=1)
+    best_frac = int(fracs[errors == errors.min()].max())
+    return QFormat(frac=best_frac, bits=bits, signed=signed)
 
 
 @dataclass(frozen=True)

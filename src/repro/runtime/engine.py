@@ -18,13 +18,18 @@ characterized once no matter how many batches or reports ask.
 For pixel-level serving (functional results, not just timing),
 :meth:`ServingEngine.execute_frame` runs one frame through the backend's
 compiled plan (the block-based truncated-pyramid flow on eCNN, whole-frame
-execution on the frame-based baselines).
+execution on the frame-based baselines).  The flow is block-parallel by
+default — the independent truncated-pyramid blocks are grouped by shape and
+run through the network in fused numpy passes — and
+:meth:`ServingEngine.execute_frames` additionally batches *across frames*
+of one workload.  Repeated frames are answered from the session's bounded
+content-addressed frame cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_table
 from repro.api.results import CostReport
@@ -240,13 +245,46 @@ class ServingEngine:
         )
 
     # ------------------------------------------------------------------ pixels
-    def execute_frame(self, workload_name: str, image: FeatureMap) -> InferenceResult:
+    def execute_frame(
+        self,
+        workload_name: str,
+        image: FeatureMap,
+        *,
+        parallel: bool = True,
+        cached: bool = True,
+    ) -> InferenceResult:
         """Run one frame of pixels through the backend's compiled plan.
 
         The plan is compiled once (cache-resident) and reused; only
         block-flow workloads (not recognition) support this path.
+        ``parallel`` selects the block-parallel grouped execution (default)
+        or the scalar flow — pixels are bit-identical either way — and
+        ``cached`` routes repeats of the same frame through the session's
+        bounded frame cache.
         """
-        return self.session.execute(workload_name, image)
+        return self.session.execute(
+            workload_name, image, parallel=parallel, cached=cached
+        )
+
+    def execute_frames(
+        self,
+        workload_name: str,
+        images: Sequence[FeatureMap],
+        *,
+        parallel: bool = True,
+        cached: bool = True,
+    ) -> List[InferenceResult]:
+        """Serve a batch of frames of one workload in fused passes.
+
+        On the block-based eCNN backend the truncated-pyramid blocks of
+        *all* frames are pooled and grouped by shape, so corresponding
+        blocks of same-sized frames run through the network together — the
+        functional counterpart of the scheduler batching requests of one
+        workload onto one instance.
+        """
+        return self.session.execute_many(
+            workload_name, images, parallel=parallel, cached=cached
+        )
 
     def catalogue(self) -> Dict[str, str]:
         """Name -> description of the servable workloads."""

@@ -50,6 +50,8 @@ class TestSuiteShape:
             "serving_burst_i2_b8@eyeriss",
             "execute_frame_denoise_96px@ecnn",
             "execute_frame_denoise_96px@frame_based",
+            "execute_frame_parallel@ecnn",
+            "execute_frames_batch@ecnn",
             "hotpath_memoization@ecnn",
         )
 
@@ -93,6 +95,16 @@ class TestSuiteRun:
         ecnn = dict(by_id["execute_frame_denoise_96px@ecnn"].figures)
         frame = dict(by_id["execute_frame_denoise_96px@frame_based"].figures)
         assert ecnn == frame
+        # The pixel A/B records the fresh scalar/fused times and the cached
+        # serving steady state (its run already verified bit-identity).
+        pixel = dict(by_id["execute_frame_parallel@ecnn"].extra)
+        assert pixel["speedup"] == pixel["baseline_s"] / pixel["optimized_s"]
+        assert pixel["fusion_speedup"] == pixel["baseline_s"] / pixel["parallel_fresh_s"]
+        # The A/B scenario and the plain execute_frame scenario serve the
+        # same seeded frame, so their figures must agree too.
+        assert dict(by_id["execute_frame_parallel@ecnn"].figures) == ecnn
+        batch = dict(by_id["execute_frames_batch@ecnn"].extra)
+        assert batch["speedup"] == batch["baseline_s"] / batch["optimized_s"]
 
     def test_figures_are_deterministic_across_runs(self):
         suite = default_suite().select(["profile_cold"])
@@ -255,3 +267,53 @@ class TestCli:
     def test_bad_filter_errors(self):
         with pytest.raises(SystemExit):
             bench_main(["--scenario", "nope-never"])
+
+    @staticmethod
+    def _report_with_time(best_s: float) -> BenchReport:
+        result = BenchResult(
+            scenario="s@ecnn",
+            description="",
+            backends=("ecnn",),
+            unit="runs",
+            repeats=1,
+            wall_s=(best_s,),
+            units_per_run=1.0,
+        )
+        return BenchReport(suite="default", results=(result,), repeats=1)
+
+    def test_compare_two_files_without_running(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._report_with_time(0.2).save(old)
+        self._report_with_time(0.1).save(new)
+        assert bench_main(["--compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "Bench comparison" in out
+        assert "2.00x" in out
+
+    def test_fail_over_flags_regressions(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._report_with_time(0.1).save(old)
+        self._report_with_time(0.2).save(new)  # 100% slower
+        assert bench_main(["--compare", str(old), str(new), "--fail-over", "50"]) == 1
+        assert "regressions over the 50% threshold" in capsys.readouterr().out
+        # A generous threshold passes.
+        assert bench_main(["--compare", str(old), str(new), "--fail-over", "150"]) == 0
+        assert "no scenario regressed" in capsys.readouterr().out
+
+    def test_fail_over_needs_compare(self):
+        with pytest.raises(SystemExit):
+            bench_main(["--fail-over", "10"])
+        with pytest.raises(SystemExit):
+            bench_main(["--compare", "a.json", "b.json", "c.json"])
+
+    def test_two_file_compare_rejects_run_only_flags(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        self._report_with_time(0.2).save(old)
+        self._report_with_time(0.1).save(new)
+        for extra in (["--scenario", "serving"], ["--repeats", "2"],
+                      ["--output", "x.json"], ["--list"]):
+            with pytest.raises(SystemExit):
+                bench_main(["--compare", str(old), str(new), *extra])

@@ -108,6 +108,42 @@ class TestPrecisionSearch:
         with pytest.raises(ValueError):
             quantization_error(np.ones(3), QFormat(4), norm="l3")
 
+    def test_vectorized_search_matches_scalar_reference(self):
+        # The one-pass search must pick the same format as the original
+        # candidate-at-a-time loop on every input — including tie-breaking
+        # toward the finer fraction and unusual bit widths / ranges.
+        from repro.quant.quantize import _optimal_fraction_bits_scalar
+
+        rng = np.random.default_rng(42)
+        for case in range(60):
+            scale = 10.0 ** rng.uniform(-4, 3)
+            values = rng.normal(0, scale, size=int(rng.integers(1, 300)))
+            if case % 3 == 0:
+                values = np.abs(values)
+            bits = int(rng.choice([4, 7, 8, 12]))
+            signed = bool(rng.random() < 0.7)
+            norm = "l1" if case % 2 else "l2"
+            fast = optimal_fraction_bits(values, bits=bits, signed=signed, norm=norm)
+            slow = _optimal_fraction_bits_scalar(
+                values, bits=bits, signed=signed, norm=norm
+            )
+            assert fast == slow, (case, fast, slow)
+
+    def test_vectorized_search_custom_range_and_ties(self):
+        from repro.quant.quantize import _optimal_fraction_bits_scalar
+
+        # All-zero input makes every candidate error zero: the tie must
+        # break toward the finest fraction of the range in both searches.
+        zeros = np.zeros(17)
+        custom = range(2, 9)
+        fast = optimal_fraction_bits(zeros, search_range=custom)
+        assert fast == _optimal_fraction_bits_scalar(zeros, search_range=custom)
+        assert fast.frac == 8
+        with pytest.raises(ValueError):
+            optimal_fraction_bits(np.ones(3), search_range=[])
+        with pytest.raises(ValueError):
+            optimal_fraction_bits(np.ones(3), norm="l3")
+
 
 class TestNetworkQuantization:
     def test_plan_covers_all_convs(self, tiny_ernet):
