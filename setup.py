@@ -15,10 +15,11 @@ _README = _ROOT / "README.md"
 
 setup(
     name="repro-ecnn",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of eCNN (MICRO 2019): block-based CNN accelerator "
-        "models with a multi-stream serving runtime"
+        "models with a multi-stream serving runtime and a sharded "
+        "multi-worker serving cluster"
     ),
     long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
     long_description_content_type="text/markdown",

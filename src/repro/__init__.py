@@ -27,7 +27,8 @@ Subpackages
     paper-figure benchmark suite (``benchmarks/``).
 ``repro.runtime``
     Multi-scenario serving layer: request batching across simulated
-    accelerator instances, a content-addressed analytic-result cache,
+    accelerator instances, a content-addressed analytic-result cache, the
+    sharded multi-worker :class:`~repro.runtime.cluster.ServingCluster`,
     process-parallel design-space sweeps and the ``python -m repro.runtime``
     traffic CLI.
 ``repro.api``

@@ -14,6 +14,12 @@ Three abstractions:
   :class:`~repro.api.results.CompiledPlan` — unifying the per-module report
   shapes the evaluation previously exposed.
 
+For crossing process boundaries (the serving cluster's worker startup) the
+package adds two picklable recipes: :class:`~repro.api.session.SessionHandle`
+rebuilds an equivalent session inside a worker and
+:class:`~repro.api.results.PlanHandle` names a compiled plan by (backend,
+workload) so workers re-derive it through their own caches and memos.
+
 Importing this package registers the built-in backends (``ecnn``,
 ``frame_based``, ``eyeriss``, ``diffy``, ``ideal``, ``scale_sim``).  See
 ``docs/backends.md`` for how to write and register a new one.
@@ -29,8 +35,8 @@ from repro.api.backend import (
     register_backend,
     unregister_backend,
 )
-from repro.api.results import CompiledPlan, CostReport, PerfProfile
-from repro.api.session import Session
+from repro.api.results import CompiledPlan, CostReport, PerfProfile, PlanHandle
+from repro.api.session import FrameCacheStats, Session, SessionHandle
 import repro.api.backends  # noqa: F401  (registers the built-in backends)
 
 __all__ = [
@@ -38,8 +44,11 @@ __all__ = [
     "BACKENDS",
     "CompiledPlan",
     "CostReport",
+    "FrameCacheStats",
     "PerfProfile",
+    "PlanHandle",
     "Session",
+    "SessionHandle",
     "available_backends",
     "backend_class",
     "create_backend",

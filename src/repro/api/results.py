@@ -46,6 +46,39 @@ class CompiledPlan:
 
 
 @dataclass(frozen=True)
+class PlanHandle:
+    """A picklable reference to a :class:`CompiledPlan`.
+
+    A :class:`CompiledPlan` carries the full network (hundreds of kilobytes
+    of weights) and a backend-private payload, so shipping plans to worker
+    processes would serialize megabytes per workload and — worse — give each
+    worker a *copy* that can never share the process-level compilation memos.
+    A handle instead names the plan by (backend, workload): workers
+    :meth:`resolve` it against their own :class:`~repro.api.session.Session`,
+    which recompiles through the content-addressed cache and the
+    ``fbisa-compilations`` memo, so the bits are identical to the parent's
+    plan and the cost is paid once per worker process.
+    """
+
+    backend: str
+    workload: str
+
+    def resolve(self, session: Any) -> CompiledPlan:
+        """Compile this handle's plan inside ``session`` (cache-resident).
+
+        ``session`` is a :class:`~repro.api.session.Session`; its backend
+        must match the handle's so a plan handle can never silently resolve
+        against a different timing model.
+        """
+        if session.backend_name != self.backend:
+            raise ValueError(
+                f"plan handle is for backend {self.backend!r} but the session "
+                f"runs {session.backend_name!r}"
+            )
+        return session.compile(self.workload)
+
+
+@dataclass(frozen=True)
 class PerfProfile:
     """Per-frame serving performance of one workload on one backend.
 

@@ -19,10 +19,11 @@ wiring.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.backend import AcceleratorBackend, available_backends, create_backend
-from repro.api.results import CompiledPlan, CostReport, PerfProfile
+from repro.api.results import CompiledPlan, CostReport, PerfProfile, PlanHandle
 from repro.core.pipeline import InferenceResult
 from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
 from repro.nn.network import Network
@@ -32,6 +33,71 @@ if TYPE_CHECKING:  # runtime modules are imported lazily: repro.runtime.engine
     # imports this module, so a top-level import here would be circular.
     from repro.runtime.cache import ResultCache
     from repro.runtime.workloads import RuntimeWorkload, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class FrameCacheStats:
+    """Hit/miss/eviction counters of a session's bounded pixel-result cache.
+
+    Mirrors :class:`~repro.runtime.cache.CacheStats` (the analytic cache's
+    counters) and adds the residency bound, because unlike the analytic
+    cache the frame cache is always bounded — eviction pressure is part of
+    its steady-state story, so serving reports surface it.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+    evictions: int
+    max_entries: Optional[int]
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        bound = "unbounded" if self.max_entries is None else f"bound {self.max_entries}"
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate, {self.entries} entries, "
+            f"{self.evictions} evicted, {bound})"
+        )
+
+
+@dataclass(frozen=True)
+class SessionHandle:
+    """A picklable recipe for rebuilding an equivalent :class:`Session`.
+
+    A :class:`Session` itself cannot cross a process boundary usefully — its
+    caches are live mutable state and its backend may hang unpicklable
+    derived artifacts off shared networks.  A handle carries only the
+    session's *identity* (backend registry name, hardware configuration,
+    frame-cache bound); :meth:`create` builds a fresh session from it inside
+    the receiving process, with its own scoped caches.  Two sessions built
+    from equal handles answer every analytic and pixel query bit-identically
+    (everything underneath is deterministic), which is what lets the serving
+    cluster shard work across worker processes without shipping state.
+    """
+
+    backend: str
+    config: EcnnConfig = DEFAULT_CONFIG
+    #: Frame-cache residency bound; ``None`` rebuilds an unbounded cache.
+    frame_cache_entries: Optional[int] = 64
+
+    def create(self) -> "Session":
+        """Build a fresh session (scoped caches) from this handle."""
+        from repro.runtime.cache import ResultCache
+
+        return Session(
+            backend=self.backend,
+            config=self.config,
+            cache=ResultCache(),
+            frame_cache_entries=self.frame_cache_entries,
+        )
 
 
 class Session:
@@ -52,9 +118,9 @@ class Session:
     workloads:
         Workload registry; defaults to the live serving catalogue.
     frame_cache_entries:
-        Residency bound of the per-session pixel-result cache (LRU).  Frame
-        results carry pixel data, so unlike the analytic cache this one is
-        always bounded.
+        Residency bound of the per-session pixel-result cache (LRU); pass
+        ``None`` for an unbounded cache.  Frame results carry pixel data,
+        so the default keeps this one bounded (unlike the analytic cache).
     """
 
     def __init__(
@@ -64,7 +130,7 @@ class Session:
         config: EcnnConfig = DEFAULT_CONFIG,
         cache: Optional[ResultCache] = None,
         workloads: Optional[Mapping[str, RuntimeWorkload]] = None,
-        frame_cache_entries: int = 64,
+        frame_cache_entries: Optional[int] = 64,
     ) -> None:
         from repro.runtime.cache import DEFAULT_CACHE, ResultCache
         from repro.runtime.workloads import WORKLOADS
@@ -87,6 +153,42 @@ class Session:
     @property
     def backend_name(self) -> str:
         return self.backend.name
+
+    def handle(self) -> SessionHandle:
+        """A picklable :class:`SessionHandle` rebuilding this session's shape.
+
+        The handle names the backend by its registry name, so a session
+        whose backend instance was constructed out-of-registry (with
+        parameters the registry constructor would not reproduce) should not
+        be sharded through handles — the rebuilt backend is
+        ``create_backend(name, config=config)``.
+        """
+        return SessionHandle(
+            backend=self.backend_name,
+            config=self.config,
+            frame_cache_entries=self.frame_cache.max_entries,
+        )
+
+    def plan_handle(self, workload_name: str) -> PlanHandle:
+        """A picklable :class:`~repro.api.results.PlanHandle` for a workload.
+
+        Validates the workload name now, so a bad handle fails at the
+        coordinator instead of deep inside a worker process.
+        """
+        self.workload(workload_name)
+        return PlanHandle(backend=self.backend_name, workload=workload_name)
+
+    @property
+    def frame_cache_stats(self) -> FrameCacheStats:
+        """Counters of the bounded pixel-result cache (see :class:`FrameCacheStats`)."""
+        stats = self.frame_cache.stats
+        return FrameCacheStats(
+            hits=stats.hits,
+            misses=stats.misses,
+            entries=stats.entries,
+            evictions=stats.evictions,
+            max_entries=self.frame_cache.max_entries,
+        )
 
     def catalogue(self) -> Dict[str, str]:
         """Name -> description of the workloads this session can evaluate."""

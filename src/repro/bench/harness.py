@@ -397,9 +397,15 @@ class ScenarioRegression:
 
     @property
     def regression_pct(self) -> float:
-        """How much slower the scenario got, in percent of the old time."""
+        """How much slower the scenario got, in percent of the old time.
+
+        A zero-time baseline (a report recorded with a clock too coarse to
+        resolve the scenario) cannot express a finite percentage: any
+        measurable ``after`` counts as an infinite regression, while an
+        equally-unmeasurable ``after`` is no regression at all.
+        """
         if self.before_s <= 0:
-            return float("inf")
+            return float("inf") if self.after_s > 0 else 0.0
         return (self.after_s / self.before_s - 1.0) * 100.0
 
     def describe(self) -> str:

@@ -10,6 +10,16 @@ Scenario families (see ``docs/performance.md`` for the full reading guide):
   over every registered backend;
 * ``serving_*`` — :meth:`repro.runtime.engine.ServingEngine.run` draining
   synthetic traffic traces at several instance counts and batch budgets;
+* ``cluster_scale`` — the scale-out scenario:
+  :class:`~repro.runtime.cluster.ServingCluster` serving the demo trace at
+  1/2/4 workers, recording the (deterministic, simulated) aggregate
+  throughput curve, asserting it increases monotonically with the worker
+  count, and re-verifying on every run that cluster pixel outputs are
+  bit-identical to a single-process :class:`ServingEngine`;
+* ``cluster_frames`` — pixel serving *through the cluster*: a batch of
+  distinct frames scattered across worker processes
+  (:meth:`ServingCluster.execute_frames`) against the in-process per-frame
+  scalar baseline, outputs verified bit-identical;
 * ``execute_frame_*`` — the pixel-serving path on the block-based eCNN
   backend and a whole-frame baseline (steady-state serving: repeats of the
   same frame are answered from the session's content-addressed frame
@@ -44,6 +54,7 @@ from repro.analysis.workloads import synthetic_image
 from repro.api import Session, available_backends
 from repro.bench.harness import BenchScenario, BenchSuite, PhaseRecorder, ScenarioOutcome
 from repro.runtime.cache import ResultCache
+from repro.runtime.cluster import ServingCluster
 from repro.runtime.engine import ServingEngine
 from repro.runtime.trace import trace
 
@@ -190,6 +201,137 @@ def _serving_scenario(
             f"{instances} instance(s), batch budget {batch_frames}"
         ),
         backends=(backend,),
+        unit="frames",
+        run=run,
+        setup=setup,
+    )
+
+
+def _cluster_scale_scenario(worker_counts: Tuple[int, ...] = (1, 2, 4)):
+    image = synthetic_image(64, 64, seed=7)
+
+    def setup() -> None:
+        # Prime the process memos so worker startup (fork) inherits warm
+        # network builds and the measured passes time serving, not builds.
+        for name in CATALOGUE:
+            Session(backend="ecnn", cache=ResultCache()).serving_profile(name)
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        figures = []
+        fps_curve = []
+        total_frames = 0
+        clustered = None
+        for workers in worker_counts:
+            with recorder.phase(f"workers_{workers}"):
+                with ServingCluster(
+                    workers=workers, backend="ecnn", instances_per_worker=1
+                ) as cluster:
+                    cluster.play(trace("demo"))
+                    report = cluster.run()
+                    if workers == worker_counts[-1]:
+                        # The widest cluster also serves one pixel frame so
+                        # the verify phase can hold the scale-out tier to
+                        # the bit-identity bar every other optimization met.
+                        clustered = cluster.execute_frame(
+                            "denoise", image, cached=False
+                        )
+            fps_curve.append(report.throughput_fps)
+            total_frames += report.total_frames
+            figures.append((f"throughput_fps:w{workers}", report.throughput_fps))
+        for before, after in zip(fps_curve, fps_curve[1:]):
+            if after <= before:
+                raise AssertionError(
+                    "cluster throughput must increase with the worker count; "
+                    f"measured {fps_curve} fps for {worker_counts} workers"
+                )
+        with recorder.phase("verify"):
+            engine = ServingEngine(backend="ecnn", cache=ResultCache())
+            reference = engine.execute_frame("denoise", image, cached=False)
+        if not np.array_equal(clustered.output.data, reference.output.data):
+            raise AssertionError(
+                "cluster pixel output differs from the single-process engine"
+            )
+        figures.append(
+            ("output_mean_abs", float(abs(reference.output.data).mean()))
+        )
+        return ScenarioOutcome(
+            units=float(total_frames),
+            figures=tuple(figures),
+            extra=(("scaling", fps_curve[-1] / fps_curve[0]),),
+        )
+
+    return BenchScenario(
+        name="cluster_scale",
+        description=(
+            "ServingCluster on the 'demo' trace at "
+            f"{'/'.join(str(count) for count in worker_counts)} workers "
+            "(1 instance each): aggregate throughput must increase "
+            "monotonically, and cluster pixels are verified bit-identical "
+            "to a single-process ServingEngine on every run"
+        ),
+        backends=("ecnn",),
+        unit="frames",
+        run=run,
+        setup=setup,
+    )
+
+
+def _cluster_frames_scenario(size: int = 64, frames: int = 16, workers: int = 2):
+    session = Session(backend="ecnn", cache=ResultCache())
+    images = [synthetic_image(size, size, seed=seed) for seed in range(frames)]
+
+    def setup() -> None:
+        session.execute("denoise", images[0], parallel=False, cached=False)
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        with recorder.phase("scalar"):
+            start = time.perf_counter()
+            reference = [
+                session.execute("denoise", image, parallel=False, cached=False)
+                for image in images
+            ]
+            scalar_s = time.perf_counter() - start
+        with recorder.phase("spawn"):
+            cluster = ServingCluster(
+                workers=workers,
+                backend="ecnn",
+                warm_plans=(session.plan_handle("denoise"),),
+            )
+        try:
+            with recorder.phase("cluster"):
+                start = time.perf_counter()
+                scattered = cluster.execute_frames("denoise", images, cached=False)
+                cluster_s = time.perf_counter() - start
+        finally:
+            cluster.close()
+        for index, (one, many) in enumerate(zip(reference, scattered)):
+            if not np.array_equal(one.output.data, many.output.data):
+                raise AssertionError(
+                    f"cluster serving changed frame {index}'s pixels"
+                )
+        mean_abs = float(
+            np.mean([abs(result.output.data).mean() for result in scattered])
+        )
+        return ScenarioOutcome(
+            units=float(frames),
+            figures=(("output_mean_abs", mean_abs),),
+            extra=(
+                ("baseline_s", scalar_s),
+                ("optimized_s", cluster_s),
+                ("speedup", scalar_s / cluster_s),
+            ),
+        )
+
+    return BenchScenario(
+        name="cluster_frames",
+        description=(
+            f"cluster pixel serving: {frames} distinct {size}x{size} denoise "
+            f"frames scattered across {workers} worker shards "
+            "(ServingCluster.execute_frames), verified bit-for-bit against "
+            "in-process per-frame scalar execution; the recorded speedup is "
+            "core-bound (about parity on a single-core machine)"
+        ),
+        backends=("ecnn",),
         unit="frames",
         run=run,
         setup=setup,
@@ -411,6 +553,8 @@ def default_suite() -> BenchSuite:
         _serving_scenario("demo", "ecnn", 4, 16),
         _serving_scenario("steady", "ecnn", 2, 8),
         _serving_scenario("burst", "eyeriss", 2, 8),
+        _cluster_scale_scenario(),
+        _cluster_frames_scenario(),
         _execute_frame_scenario("ecnn"),
         _execute_frame_scenario("frame_based"),
         _execute_frame_parallel_scenario(),

@@ -20,17 +20,32 @@ Modules
   :class:`repro.api.Session` so any registered accelerator backend
   (``ecnn``, ``eyeriss``, ``diffy``, ``ideal``, ``frame_based``,
   ``scale_sim``) can stand in for the eCNN processor;
+* :mod:`repro.runtime.cluster` — the scale-out tier:
+  :class:`~repro.runtime.cluster.ServingCluster` shards streams and
+  workloads across a pool of worker processes (one pinned session + engine
+  per worker) with bounded per-shard queues, failure recovery and
+  aggregated :class:`~repro.runtime.cluster.ClusterStats`;
 * :mod:`repro.runtime.sweep` — process-parallel design-space sweeps,
   bit-identical to :func:`repro.analysis.sweeps.sweep`;
 * :mod:`repro.runtime.cli` — ``python -m repro.runtime --trace demo
-  [--backend eyeriss]``.
+  [--backend eyeriss] [--workers 4]``.
 """
 
 from repro.runtime.cache import CacheStats, DEFAULT_CACHE, ResultCache, fingerprint
+from repro.runtime.cluster import (
+    ClusterBackpressure,
+    ClusterError,
+    ClusterReport,
+    ClusterStats,
+    ClusterWorkerError,
+    ServingCluster,
+    ShardStats,
+)
 from repro.runtime.engine import ServingEngine, ServingReport, WorkloadAnalytics
 from repro.runtime.scheduler import (
     Batch,
     InferenceRequest,
+    QueueFull,
     RequestQueue,
     RequestRecord,
     ScheduleResult,
@@ -51,17 +66,25 @@ from repro.runtime.workloads import (
 __all__ = [
     "Batch",
     "CacheStats",
+    "ClusterBackpressure",
+    "ClusterError",
+    "ClusterReport",
+    "ClusterStats",
+    "ClusterWorkerError",
     "DEFAULT_CACHE",
     "InferenceRequest",
     "ParallelSweep",
+    "QueueFull",
     "RequestQueue",
     "RequestRecord",
     "ResultCache",
     "RuntimeWorkload",
     "ScheduleResult",
     "Scheduler",
+    "ServingCluster",
     "ServingEngine",
     "ServingReport",
+    "ShardStats",
     "StreamStats",
     "TRACES",
     "TraceEvent",

@@ -6,7 +6,10 @@ cache statistics.  ``--backend`` serves the same trace on any registered
 accelerator backend (``--list-backends`` enumerates them); ``--analyze``
 appends the per-workload analytic summary (capacity, DRAM, power) and
 demonstrates the content-addressed cache by asking every analytic question
-twice.
+twice.  ``--workers N`` serves through a sharded
+:class:`~repro.runtime.cluster.ServingCluster` instead — N worker
+processes, ``--instances`` simulated accelerators each — and prints the
+per-shard report plus the aggregated cluster statistics.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.api import available_backends, describe_backends
+from repro.runtime.cluster import ServingCluster
 from repro.runtime.engine import ServingEngine
 from repro.runtime.trace import TRACES, trace
 
@@ -49,6 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="ecnn",
         choices=available_backends(),
         help="accelerator backend to serve on (default: ecnn)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve through a sharded cluster of N worker processes, "
+        "--instances simulated accelerators each (default: 0 = in-process "
+        "engine, no cluster)",
+    )
+    parser.add_argument(
+        "--cluster-mode",
+        default="auto",
+        choices=("auto", "process", "inline"),
+        help="with --workers: worker processes, in-process shards, or "
+        "processes with inline fallback (default: auto)",
     )
     parser.add_argument(
         "--analyze",
@@ -102,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--instances must be at least 1")
     if args.batch_frames < 1:
         parser.error("--batch-frames must be at least 1")
+    if args.workers < 0:
+        parser.error("--workers cannot be negative")
     if args.list_traces:
         for name in sorted(TRACES):
             built = trace(name)
@@ -114,6 +135,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     selected = trace(args.trace)
+    if args.workers:
+        with ServingCluster(
+            workers=args.workers,
+            backend=args.backend,
+            instances_per_worker=args.instances,
+            max_batch_frames=args.batch_frames,
+            mode=args.cluster_mode,
+        ) as cluster:
+            print(f"backend {cluster.backend_name!r}, "
+                  f"{args.workers} worker shard(s) ({cluster.mode})")
+            print(f"trace {selected.name!r}: {selected.description}")
+            print(f"streams: {', '.join(selected.streams)}; "
+                  f"{len(selected.events)} requests, {selected.total_frames} frames\n")
+            cluster.play(selected)
+            print(cluster.run().render())
+            print(f"\ncluster: {cluster.stats().describe()}")
+            if args.analyze:
+                # Analytics are pure cache-resident questions, answered by
+                # the coordinator session (same backend/config as every
+                # worker), not by a shard.
+                engine = ServingEngine(
+                    num_instances=args.instances,
+                    max_batch_frames=args.batch_frames,
+                    backend=cluster.session,
+                )
+                names = sorted({event.workload for event in selected.events})
+                print()
+                print(_analytics_section(engine, names))
+                print(f"\nanalytic cache after re-query: {engine.cache.stats.describe()}")
+        return 0
     engine = ServingEngine(
         num_instances=args.instances,
         max_batch_frames=args.batch_frames,

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_table
 from repro.api.results import CostReport
-from repro.api.session import Session
+from repro.api.session import FrameCacheStats, Session
 from repro.core.pipeline import InferenceResult
 from repro.hw.area_power import AreaReport, area_report
 from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
@@ -84,6 +84,9 @@ class ServingReport:
     schedule: ScheduleResult
     cache: CacheStats
     backend: str = "ecnn"
+    #: Counters of the session's bounded pixel frame cache at report time
+    #: (``None`` only for reports built before PR 5's serving-stats work).
+    frame_cache: Optional[FrameCacheStats] = None
 
     def render(self) -> str:
         """The CLI's throughput/latency report."""
@@ -120,6 +123,8 @@ class ServingReport:
             f"aggregate {schedule.throughput_fps:.1f} fps\n"
             f"analytic cache: {self.cache.describe()}"
         )
+        if self.frame_cache is not None and self.frame_cache.lookups:
+            summary += f"\nframe cache: {self.frame_cache.describe()}"
         return "\n\n".join([streams, instances, summary])
 
 
@@ -168,6 +173,11 @@ class ServingEngine:
     def backend_name(self) -> str:
         return self.session.backend_name
 
+    @property
+    def frame_cache_stats(self) -> FrameCacheStats:
+        """Counters of the session's bounded pixel frame cache."""
+        return self.session.frame_cache_stats
+
     # ------------------------------------------------------------------ admission
     def submit(
         self, stream_id: str, workload_name: str, *, frames: int = 1, arrival_s: float = 0.0
@@ -187,7 +197,10 @@ class ServingEngine:
         """Drain the queue through the scheduler and report."""
         schedule = self.scheduler.run(self.queue.drain())
         return ServingReport(
-            schedule=schedule, cache=self.cache.stats, backend=self.backend_name
+            schedule=schedule,
+            cache=self.cache.stats,
+            backend=self.backend_name,
+            frame_cache=self.session.frame_cache_stats,
         )
 
     # ------------------------------------------------------------------ analytics

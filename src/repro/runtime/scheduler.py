@@ -43,10 +43,31 @@ class InferenceRequest:
             raise ValueError("arrival time cannot be negative")
 
 
-class RequestQueue:
-    """FIFO admission queue assigning globally-ordered sequence numbers."""
+class QueueFull(RuntimeError):
+    """Admission refused: a bounded request queue is at capacity.
 
-    def __init__(self) -> None:
+    The serving cluster maps this to backpressure — the caller must either
+    drain (run the schedule) or route the request to another shard.
+    """
+
+
+class RequestQueue:
+    """FIFO admission queue assigning globally-ordered sequence numbers.
+
+    Parameters
+    ----------
+    max_pending:
+        Optional bound on queued (undrained) requests.  When the bound is
+        reached, :meth:`submit` raises :class:`QueueFull` instead of
+        accepting the request — the backpressure signal the cluster's
+        per-shard queues rely on.  Unbounded by default (the single-process
+        engine drains synchronously, so depth is naturally limited).
+    """
+
+    def __init__(self, max_pending: Optional[int] = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive (or None for unbounded)")
+        self.max_pending = max_pending
         self._pending: List[InferenceRequest] = []
         self._next_seq = 0
 
@@ -56,7 +77,16 @@ class RequestQueue:
     def submit(
         self, stream_id: str, workload: str, *, frames: int = 1, arrival_s: float = 0.0
     ) -> InferenceRequest:
-        """Admit a request; returns the queued record."""
+        """Admit a request; returns the queued record.
+
+        Raises :class:`QueueFull` when a ``max_pending`` bound is set and
+        the queue is at capacity.
+        """
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            raise QueueFull(
+                f"request queue is at capacity ({self.max_pending} pending); "
+                "drain the queue or route elsewhere"
+            )
         request = InferenceRequest(
             seq=self._next_seq,
             stream_id=stream_id,

@@ -1,6 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the differential-parity helper for the test suite."""
 
 from __future__ import annotations
+
+from typing import Any, Mapping
 
 import numpy as np
 import pytest
@@ -12,6 +14,55 @@ from repro.nn.layers import Conv2d, ReLU, Residual
 from repro.nn.network import Network, Sequential
 from repro.nn.ops import PixelShuffle
 from repro.nn.tensor import FeatureMap
+
+
+def _parity_pixels(value: Any) -> np.ndarray:
+    """Extract the raw pixel array from any execution-path output shape."""
+    if isinstance(value, np.ndarray):
+        return value
+    # InferenceResult (engine/session/cluster paths) carries .output.
+    output = getattr(value, "output", value)
+    # FeatureMap / BatchedFeatureMap carry .data.
+    data = getattr(output, "data", output)
+    if not isinstance(data, np.ndarray):
+        raise TypeError(f"cannot extract pixels from {type(value).__name__}")
+    return data
+
+
+def assert_parity(outputs: Mapping[str, Any], *, context: str = "") -> None:
+    """Assert every named output is bit-identical to the first one.
+
+    This is the repository's A/B verification discipline as a reusable
+    check: every optimized execution path (fused batch kernels,
+    block-parallel grouping, cross-frame batching, sharded cluster
+    serving) must produce pixels *bit-identical* — not merely close — to
+    the scalar reference it replaced.  ``outputs`` maps a path name to its
+    output (a raw array, a ``FeatureMap``/``BatchedFeatureMap`` or an
+    ``InferenceResult``); the first entry is the reference.
+    """
+    if len(outputs) < 2:
+        raise ValueError("parity needs at least a reference and one candidate")
+    items = list(outputs.items())
+    reference_name, reference_value = items[0]
+    reference = _parity_pixels(reference_value)
+    suffix = f" [{context}]" if context else ""
+    for name, value in items[1:]:
+        candidate = _parity_pixels(value)
+        assert candidate.shape == reference.shape, (
+            f"{name!r} output shape {candidate.shape} differs from "
+            f"{reference_name!r} shape {reference.shape}{suffix}"
+        )
+        assert np.array_equal(candidate, reference), (
+            f"{name!r} output is not bit-identical to {reference_name!r}: "
+            f"max abs difference "
+            f"{np.max(np.abs(candidate - reference)):.3e}{suffix}"
+        )
+
+
+@pytest.fixture(name="assert_parity")
+def assert_parity_fixture():
+    """The :func:`assert_parity` helper as a fixture (same callable)."""
+    return assert_parity
 
 
 @pytest.fixture

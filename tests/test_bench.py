@@ -24,6 +24,7 @@ from repro.bench import (
     run_scenario,
     suite_backends,
 )
+from repro.bench.harness import ScenarioRegression, find_regressions
 from repro.bench.cli import main as bench_main
 from repro.runtime.cache import ResultCache
 from repro.runtime.workloads import workload
@@ -48,6 +49,8 @@ class TestSuiteShape:
             "serving_demo_i4_b16@ecnn",
             "serving_steady_i2_b8@ecnn",
             "serving_burst_i2_b8@eyeriss",
+            "cluster_scale@ecnn",
+            "cluster_frames@ecnn",
             "execute_frame_denoise_96px@ecnn",
             "execute_frame_denoise_96px@frame_based",
             "execute_frame_parallel@ecnn",
@@ -105,6 +108,15 @@ class TestSuiteRun:
         assert dict(by_id["execute_frame_parallel@ecnn"].figures) == ecnn
         batch = dict(by_id["execute_frames_batch@ecnn"].extra)
         assert batch["speedup"] == batch["baseline_s"] / batch["optimized_s"]
+        # The cluster scaling scenario records a monotonically-increasing
+        # simulated throughput curve (it raises inside the run otherwise)
+        # and verified pixel identity against the single-process engine.
+        scale = dict(by_id["cluster_scale@ecnn"].figures)
+        curve = [scale[f"throughput_fps:w{workers}"] for workers in (1, 2, 4)]
+        assert curve[0] < curve[1] < curve[2]
+        assert dict(by_id["cluster_scale@ecnn"].extra)["scaling"] == curve[2] / curve[0]
+        scatter = dict(by_id["cluster_frames@ecnn"].extra)
+        assert scatter["speedup"] == scatter["baseline_s"] / scatter["optimized_s"]
 
     def test_figures_are_deterministic_across_runs(self):
         suite = default_suite().select(["profile_cold"])
@@ -185,6 +197,77 @@ class TestJsonSchema:
         )
         after = BenchReport(suite="default", results=(faster,), repeats=1)
         assert "2.00x" in compare_reports(before, after)
+
+
+# ------------------------------------------------------- regression edge cases
+def _result(scenario: str, best_s: float) -> BenchResult:
+    return BenchResult(
+        scenario=scenario,
+        description="",
+        backends=("ecnn",),
+        unit="runs",
+        repeats=1,
+        wall_s=(best_s,),
+        units_per_run=1.0,
+    )
+
+
+def _report(*results: BenchResult) -> BenchReport:
+    return BenchReport(suite="default", results=tuple(results), repeats=1)
+
+
+class TestRegressionEdgeCases:
+    def test_empty_reports_have_no_regressions(self):
+        empty = _report()
+        assert find_regressions(empty, empty, 0.0) == []
+        # The comparison renders its header but no scenario rows.
+        rendered = compare_reports(empty, empty)
+        assert "Bench comparison" in rendered
+        assert "@" not in rendered
+
+    def test_disjoint_scenario_ids_never_regress(self):
+        before = _report(_result("old_only@ecnn", 0.1))
+        after = _report(_result("new_only@ecnn", 99.0))
+        assert find_regressions(before, after, 0.0) == []
+        assert "new_only" not in compare_reports(before, after)
+
+    def test_half_empty_reports(self):
+        populated = _report(_result("s@ecnn", 0.1))
+        assert find_regressions(_report(), populated, 0.0) == []
+        assert find_regressions(populated, _report(), 0.0) == []
+
+    def test_zero_time_baseline_with_measurable_after_is_infinite(self):
+        before = _report(_result("s@ecnn", 0.0))
+        after = _report(_result("s@ecnn", 0.001))
+        regressions = find_regressions(before, after, 1e9)  # any finite bar
+        assert len(regressions) == 1
+        assert regressions[0].regression_pct == float("inf")
+        assert "+inf%" in regressions[0].describe()
+
+    def test_zero_time_baseline_and_after_is_not_a_regression(self):
+        # Both unmeasurably fast: nothing got slower.
+        zero = _report(_result("s@ecnn", 0.0))
+        assert find_regressions(zero, zero, 0.0) == []
+        assert ScenarioRegression("s@ecnn", 0.0, 0.0).regression_pct == 0.0
+
+    def test_threshold_validation_and_boundary(self):
+        with pytest.raises(ValueError):
+            find_regressions(_report(), _report(), -1.0)
+        before = _report(_result("s@ecnn", 0.1))
+        after = _report(_result("s@ecnn", 0.15))  # exactly +50%
+        assert find_regressions(before, after, 50.0) == []  # > is strict
+        assert len(find_regressions(before, after, 49.0)) == 1
+
+    def test_cli_compare_handles_empty_and_disjoint_reports(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        _report().save(empty)
+        assert bench_main(["--compare", str(empty), str(empty), "--fail-over", "0"]) == 0
+        assert "no scenario regressed" in capsys.readouterr().out
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        _report(_result("a@ecnn", 0.1)).save(old)
+        _report(_result("b@ecnn", 9.9)).save(new)
+        assert bench_main(["--compare", str(old), str(new), "--fail-over", "0"]) == 0
 
 
 # ------------------------------------------------------------------- hot path

@@ -1,0 +1,258 @@
+"""Randomized differential parity: every execution tier, bit-identical.
+
+The repository's optimization discipline is that a faster path is only
+accepted with bit-identical A/B verification against the path it replaced.
+This harness generalizes those hand-picked A/B checks into a seeded
+randomized sweep: each seed draws shapes, channel counts, network
+geometries and Q-formats, then drives the same pixels through every tier —
+scalar layer kernels vs fused ``forward_batch``, scalar block flow vs
+block-parallel grouping, quantized deployments, and the session / engine /
+sharded-cluster serving stack — asserting exact equality with the shared
+:func:`conftest.assert_parity` helper.
+
+Randomization is *seeded*: a failure reproduces from its seed, and the
+drawn configurations are stable across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.workloads import synthetic_image
+from repro.api import Session
+from repro.core.blockflow import block_based_inference, frame_based_inference
+from repro.core.pipeline import BlockInferencePipeline
+from repro.models.baselines import build_plain_network
+from repro.nn.layers import AddBias, ClippedReLU, Conv2d, ReLU, Residual
+from repro.nn.network import Sequential
+from repro.nn.ops import MaxPool2x2, PixelShuffle, PixelUnshuffle, ZeroPad
+from repro.nn.tensor import BatchedFeatureMap, FeatureMap
+from repro.quant.quantize import quantize_network
+from repro.runtime import ResultCache, ServingCluster, ServingEngine
+
+SEEDS = (0, 1, 2, 3, 4)
+
+#: Block-flow workloads of the serving catalogue (recognition serves single
+#: zero-padded blocks, not pixels), with the (low, high) frame-size range to
+#: draw from — style transfer's two downsamplers need a larger minimum.
+PIXEL_WORKLOADS = {
+    "denoise": (24, 49),
+    "super_resolution": (24, 49),
+    "style_transfer": (52, 73),
+}
+
+
+# ------------------------------------------------------------------- fixtures
+@pytest.fixture(scope="module")
+def engine() -> ServingEngine:
+    return ServingEngine(backend="ecnn", cache=ResultCache())
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with ServingCluster(workers=3, backend="ecnn", mode="inline") as built:
+        yield built
+
+
+# ----------------------------------------------------------------- the helper
+class TestAssertParityHelper:
+    def test_detects_divergence(self, assert_parity):
+        reference = np.arange(12.0).reshape(3, 2, 2)
+        perturbed = reference.copy()
+        perturbed[1, 0, 1] += 1e-12
+        with pytest.raises(AssertionError, match="bit-identical"):
+            assert_parity({"reference": reference, "broken": perturbed})
+
+    def test_detects_shape_mismatch(self, assert_parity):
+        with pytest.raises(AssertionError, match="shape"):
+            assert_parity({"a": np.zeros((2, 2)), "b": np.zeros((2, 3))})
+
+    def test_needs_two_outputs(self, assert_parity):
+        with pytest.raises(ValueError):
+            assert_parity({"only": np.zeros(3)})
+
+    def test_unwraps_feature_maps_and_results(self, engine, assert_parity):
+        image = synthetic_image(24, 24, seed=0)
+        result = engine.execute_frame("denoise", image, cached=False)
+        assert_parity(
+            {
+                "raw": result.output.data,
+                "feature_map": result.output,
+                "inference_result": result,
+            }
+        )
+
+    def test_fixture_is_the_conftest_export(self, assert_parity):
+        # The fixture hands out the module-level helper defined in
+        # tests/conftest.py (loaded by path: "conftest" is an ambiguous
+        # module name when the benchmarks suite is collected too).
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "tests_conftest_for_parity", Path(__file__).parent / "conftest.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert assert_parity.__code__.co_filename == module.assert_parity.__code__.co_filename
+        assert assert_parity.__name__ == "assert_parity"
+
+
+# ------------------------------------------------------------- random drawing
+def _draw_layer_stack(rng: np.random.Generator, channels: int) -> Sequential:
+    """A random little network whose layer mix exercises the fused kernels."""
+    layers = []
+    width = channels
+    for position in range(rng.integers(2, 5)):
+        kind = rng.choice(["conv", "relu", "clipped", "bias", "residual", "pad"])
+        if kind == "conv":
+            out = int(rng.integers(2, 9))
+            kernel = int(rng.choice([1, 3]))
+            padding = str(rng.choice(["valid", "zero"]))
+            layers.append(
+                Conv2d(width, out, kernel, padding=padding, seed=int(rng.integers(1e6)))
+            )
+            width = out
+        elif kind == "relu":
+            layers.append(ReLU())
+        elif kind == "clipped":
+            layers.append(ClippedReLU(float(rng.uniform(0.3, 2.0))))
+        elif kind == "bias":
+            layers.append(AddBias(rng.normal(size=width)))
+        elif kind == "pad":
+            layers.append(ZeroPad(int(rng.integers(1, 3))))
+        else:
+            layers.append(
+                Residual(
+                    [
+                        Conv2d(width, width, 3, padding="zero", seed=int(rng.integers(1e6))),
+                        ReLU(),
+                    ]
+                )
+            )
+    return Sequential(layers, name=f"random-{channels}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRandomizedKernels:
+    def test_random_stack_forward_batch_matches_scalar(self, seed, assert_parity):
+        rng = np.random.default_rng(seed)
+        channels = int(rng.integers(2, 7))
+        height = int(rng.integers(8, 20))
+        width = int(rng.integers(8, 20))
+        batch = int(rng.integers(2, 6))
+        network = _draw_layer_stack(rng, channels)
+        maps = [
+            FeatureMap(data=rng.normal(size=(channels, height, width)))
+            for _ in range(batch)
+        ]
+        fused = network.forward_batch(BatchedFeatureMap.from_maps(maps))
+        for index, single in enumerate(maps):
+            assert_parity(
+                {
+                    "scalar": network.forward(single),
+                    "forward_batch": fused[index],
+                },
+                context=f"seed={seed} frame={index} shape={single.data.shape}",
+            )
+
+    def test_random_shuffle_pool_kernels(self, seed, assert_parity):
+        rng = np.random.default_rng(1000 + seed)
+        factor = int(rng.choice([2, 3]))
+        height = factor * int(rng.integers(3, 7))
+        width = factor * int(rng.integers(3, 7))
+        even_height = 2 * int(rng.integers(3, 9))
+        even_width = 2 * int(rng.integers(3, 9))
+        for layer, channels, size in (
+            (PixelShuffle(factor), factor * factor * int(rng.integers(1, 4)), (height, width)),
+            (PixelUnshuffle(factor), int(rng.integers(1, 5)), (height, width)),
+            (MaxPool2x2(), int(rng.integers(1, 6)), (even_height, even_width)),
+        ):
+            maps = [
+                FeatureMap(data=rng.normal(size=(channels, *size)))
+                for _ in range(3)
+            ]
+            fused = layer.forward_batch(BatchedFeatureMap.from_maps(maps))
+            for index, single in enumerate(maps):
+                assert_parity(
+                    {"scalar": layer.forward(single), "batched": fused[index]},
+                    context=f"seed={seed} {type(layer).__name__}",
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRandomizedBlockFlow:
+    def test_random_geometry_scalar_vs_parallel(self, seed, assert_parity):
+        rng = np.random.default_rng(2000 + seed)
+        depth = int(rng.integers(2, 5))
+        width = int(rng.integers(4, 11))
+        network = build_plain_network(depth, width, seed=seed)
+        height = int(rng.integers(24, 44))
+        image_width = int(rng.integers(24, 44))
+        output_block = int(rng.integers(8, 15))
+        image = synthetic_image(height, image_width, seed=seed)
+        scalar, scalar_grid = block_based_inference(
+            network, image, output_block=output_block, parallel=False
+        )
+        fused, fused_grid = block_based_inference(
+            network, image, output_block=output_block, parallel=True
+        )
+        assert fused_grid.num_blocks == scalar_grid.num_blocks
+        assert_parity(
+            {"scalar": scalar, "block_parallel": fused},
+            context=f"seed={seed} {height}x{image_width} block={output_block}",
+        )
+        # The block flow itself must agree with whole-frame execution (to
+        # float tolerance: the summation order differs by construction).
+        reference = frame_based_inference(network, image)
+        assert np.allclose(fused.data, reference.data)
+
+    def test_random_qformat_quantized_parity(self, seed, assert_parity):
+        rng = np.random.default_rng(3000 + seed)
+        network = build_plain_network(int(rng.integers(2, 4)), int(rng.integers(4, 9)), seed=seed)
+        bits = int(rng.choice([6, 7, 8]))
+        feature_bits = int(rng.choice([7, 8]))
+        plan = quantize_network(network, bits=bits, feature_bits=feature_bits)
+        # The drawn Q-formats really vary with the seed (regression guard
+        # for the randomization itself).
+        assert plan.layers[0].weight_format.bits == bits
+        pipeline = BlockInferencePipeline(
+            network, output_block=int(rng.integers(8, 13)), quantization=plan
+        )
+        image = synthetic_image(int(rng.integers(24, 40)), int(rng.integers(24, 40)), seed=seed)
+        assert_parity(
+            {
+                "scalar": pipeline.run(image, parallel=False),
+                "block_parallel": pipeline.run(image, parallel=True),
+            },
+            context=f"seed={seed} Q bits={bits}/{feature_bits}",
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRandomizedServingStack:
+    def test_session_engine_cluster_bit_identical(self, seed, engine, cluster, assert_parity):
+        rng = np.random.default_rng(4000 + seed)
+        workload = str(rng.choice(sorted(PIXEL_WORKLOADS)))
+        low, high = PIXEL_WORKLOADS[workload]
+        height = int(rng.integers(low, high))
+        width = int(rng.integers(low, high))
+        image = synthetic_image(height, width, seed=seed)
+        session = Session(backend="ecnn", cache=ResultCache())
+        assert_parity(
+            {
+                "session_scalar": session.execute(
+                    workload, image, parallel=False, cached=False
+                ),
+                "session_parallel": session.execute(
+                    workload, image, parallel=True, cached=False
+                ),
+                "engine": engine.execute_frame(workload, image, cached=False),
+                "cluster": cluster.execute_frame(workload, image, cached=False),
+                "cluster_batch": cluster.execute_frames(
+                    workload, [image], cached=False
+                )[0],
+            },
+            context=f"seed={seed} workload={workload} {height}x{width}",
+        )
