@@ -15,11 +15,11 @@ _README = _ROOT / "README.md"
 
 setup(
     name="repro-ecnn",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of eCNN (MICRO 2019): block-based CNN accelerator "
-        "models with a multi-stream serving runtime and a sharded "
-        "multi-worker serving cluster"
+        "models with a multi-stream serving runtime, a sharded "
+        "multi-worker serving cluster and a soak & chaos harness"
     ),
     long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
     long_description_content_type="text/markdown",
@@ -33,6 +33,7 @@ setup(
         "console_scripts": [
             "repro-runtime=repro.runtime.cli:main",
             "repro-bench=repro.bench.cli:main",
+            "repro-soak=repro.soak.cli:main",
         ]
     },
     classifiers=[

@@ -42,12 +42,18 @@ Subpackages
 ``repro.bench``
     The performance harness: a scenario suite over the serving hot paths,
     ``BENCH_<n>.json`` reports and the ``repro-bench`` CLI.
+``repro.soak``
+    The soak & chaos tier: streaming (O(1)-memory) Poisson/bursty/diurnal
+    trace generators, a chaos controller driving the cluster's
+    fault-injection surface, exactly-once request accounting with
+    post-chaos pixel parity, ``repro-soak/1`` capacity reports and the
+    ``repro-soak`` CLI.
 ``repro.hotpath``
     Process-level memoization of deterministic hot paths (catalogue network
     builds, FBISA compilations, block reports), A/B-toggleable for honest
     baseline measurements.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

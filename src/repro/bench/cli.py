@@ -10,6 +10,12 @@ directory (so successive runs build a perf trajectory: ``BENCH_0.json``,
 exit when any pinned scenario got more than PCT percent slower), and
 ``--list`` shows what would run.  See ``docs/performance.md`` for the
 reading guide.
+
+The ``soak_chaos`` scenario is the non-blocking full-soak tier: it runs
+the :mod:`repro.soak` harness across worker counts (with mid-run chaos)
+inside the suite; for standalone or larger soaks use the dedicated
+``repro-soak`` command, whose report is a ``repro-soak/1`` JSON document
+rather than a bench figure set.
 """
 
 from __future__ import annotations

@@ -20,6 +20,12 @@ Scenario families (see ``docs/performance.md`` for the full reading guide):
   distinct frames scattered across worker processes
   (:meth:`ServingCluster.execute_frames`) against the in-process per-frame
   scalar baseline, outputs verified bit-identical;
+* ``soak_chaos`` — the soak & chaos tier (:mod:`repro.soak`): thousands of
+  Poisson requests replayed through :class:`ServingCluster` at 1/2/4
+  workers with a ``kill-worker@50%`` injected mid-run, recording the
+  max-sustainable-fps capacity curve (monotonic in the worker count),
+  proving exactly-once request accounting and re-verifying post-chaos
+  pixels bit-identical to the single-process scalar reference;
 * ``execute_frame_*`` — the pixel-serving path on the block-based eCNN
   backend and a whole-frame baseline (steady-state serving: repeats of the
   same frame are answered from the session's content-addressed frame
@@ -338,6 +344,84 @@ def _cluster_frames_scenario(size: int = 64, frames: int = 16, workers: int = 2)
     )
 
 
+def _soak_chaos_scenario(
+    worker_counts: Tuple[int, ...] = (1, 2, 4), requests: int = 2_500
+):
+    from repro.soak import ChaosEvent, SoakConfig, run_soak
+
+    def setup() -> None:
+        for name in CATALOGUE:
+            Session(backend="ecnn", cache=ResultCache()).serving_profile(name)
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        figures = []
+        extra = []
+        capacity_curve = []
+        total_served = 0
+        for workers in worker_counts:
+            # Single-worker clusters cannot survive a kill (beheading is a
+            # broken schedule, not a survivable fault), so w=1 soaks clean
+            # and anchors the capacity curve's origin.
+            chaos = (ChaosEvent.parse("kill-worker@50%"),) if workers > 1 else ()
+            with recorder.phase(f"workers_{workers}"):
+                report = run_soak(
+                    SoakConfig(
+                        requests=requests,
+                        workers=workers,
+                        window=512,
+                        seed=7,
+                        chaos=chaos,
+                        cluster_mode="auto",
+                    )
+                )
+            if report.lost or report.duplicated:
+                raise AssertionError(
+                    f"soak at {workers} workers lost {report.lost} / "
+                    f"duplicated {report.duplicated} requests"
+                )
+            capacity_curve.append(report.capacity_fps)
+            total_served += report.served
+            figures.extend(
+                [
+                    (f"capacity_fps:w{workers}", report.capacity_fps),
+                    (f"served:w{workers}", float(report.served)),
+                    (f"lost:w{workers}", float(report.lost)),
+                    (f"duplicated:w{workers}", float(report.duplicated)),
+                    (f"parity_checks:w{workers}", float(report.parity_checks)),
+                ]
+            )
+            extra.append((f"requeued:w{workers}", float(report.requeued)))
+        for before, after in zip(capacity_curve, capacity_curve[1:]):
+            if after <= before:
+                raise AssertionError(
+                    "soak capacity must increase with the worker count; "
+                    f"measured {capacity_curve} fps for {worker_counts} workers"
+                )
+        return ScenarioOutcome(
+            units=float(total_served),
+            figures=tuple(figures),
+            extra=tuple(extra),
+        )
+
+    return BenchScenario(
+        name="soak_chaos",
+        description=(
+            f"repro.soak chaos soak: {requests} Poisson requests through "
+            "ServingCluster at "
+            f"{'/'.join(str(count) for count in worker_counts)} workers "
+            "with a kill-worker@50% mid-run (skipped at one worker); "
+            "records the max-sustainable-fps capacity curve (must increase "
+            "monotonically), proves exactly-once request accounting, and "
+            "re-verifies post-chaos pixels bit-identical to the "
+            "single-process scalar reference on every run"
+        ),
+        backends=("ecnn",),
+        unit="requests",
+        run=run,
+        setup=setup,
+    )
+
+
 def _execute_frame_scenario(backend: str, size: int = 96):
     session = Session(backend=backend, cache=ResultCache())
     image = synthetic_image(size, size, seed=7)
@@ -555,6 +639,7 @@ def default_suite() -> BenchSuite:
         _serving_scenario("burst", "eyeriss", 2, 8),
         _cluster_scale_scenario(),
         _cluster_frames_scenario(),
+        _soak_chaos_scenario(),
         _execute_frame_scenario("ecnn"),
         _execute_frame_scenario("frame_based"),
         _execute_frame_parallel_scenario(),

@@ -23,8 +23,11 @@ Modules
 * :mod:`repro.runtime.cluster` — the scale-out tier:
   :class:`~repro.runtime.cluster.ServingCluster` shards streams and
   workloads across a pool of worker processes (one pinned session + engine
-  per worker) with bounded per-shard queues, failure recovery and
-  aggregated :class:`~repro.runtime.cluster.ClusterStats`;
+  per worker) with bounded per-shard queues, failure recovery, aggregated
+  :class:`~repro.runtime.cluster.ClusterStats`, and the fault-injection
+  surface (``kill_worker`` / ``saturate_shard`` / ``flip_mode`` /
+  ``evict_frame_caches`` plus the ``fault_hook`` callback) that the
+  :mod:`repro.soak` chaos tier drives;
 * :mod:`repro.runtime.sweep` — process-parallel design-space sweeps,
   bit-identical to :func:`repro.analysis.sweeps.sweep`;
 * :mod:`repro.runtime.cli` — ``python -m repro.runtime --trace demo

@@ -32,6 +32,20 @@ Semantics (documented in ``docs/serving.md``):
   parent's warm memos; ``spawn`` otherwise).  Sandboxes that forbid
   spawning processes fall back to in-process shards transparently
   (``mode == "inline"``), mirroring :class:`~repro.runtime.sweep.ParallelSweep`.
+* **Fault injection** — the chaos surface the soak harness
+  (:mod:`repro.soak`) drives.  :meth:`ServingCluster.kill_worker` kills a
+  live worker (the OS process in process mode — death is *discovered* at
+  the next dispatch, exactly like a real crash — or an immediate
+  mark-dead inline), :meth:`ServingCluster.saturate_shard` clamps one
+  shard's admission bound so the next submit raises
+  :class:`ClusterBackpressure` (:meth:`ServingCluster.restore_shards`
+  lifts the clamp), :meth:`ServingCluster.flip_mode` tears every live
+  shard down and rebuilds it in the opposite worker mode without losing a
+  queued request, and :meth:`ServingCluster.evict_frame_caches` drops the
+  workers' pixel frame caches.  A pluggable ``fault_hook`` callable is
+  invoked at documented points inside :meth:`ServingCluster.run`
+  (``"run:start"``, ``"run:round"``) so tests and chaos controllers can
+  inject failures deterministically *while requests are in flight*.
 
 Outputs are bit-identical to a single-process
 :class:`~repro.runtime.engine.ServingEngine` on the same backend — every
@@ -42,10 +56,11 @@ worker runs the very same deterministic execution paths — which the
 from __future__ import annotations
 
 import hashlib
+import itertools
 import queue as queue_module
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.api.results import PlanHandle
 from repro.api.session import FrameCacheStats, Session, SessionHandle
@@ -155,6 +170,10 @@ def _execute_command(state: _WorkerState, command: str, payload: Any) -> Any:
             cache=state.session.cache.stats,
             frame_cache=state.session.frame_cache_stats,
         )
+    if command == "evict_frame_cache":
+        dropped = len(state.session.frame_cache)
+        state.session.frame_cache.clear()
+        return dropped
     if command == "ping":
         return "pong"
     raise ValueError(f"unknown cluster command {command!r}")
@@ -208,6 +227,12 @@ class _InlineShard:
 
     def send(self, command: str, payload: Any) -> int:
         """Execute immediately (inline has no concurrency) and stash the result."""
+        if not self.alive:
+            # Same contract as a dead worker process: dispatching to a
+            # killed inline shard is a shard failure, so chaos injection
+            # (kill_worker, the run() fault hook) exercises the very same
+            # recovery paths without needing real processes.
+            raise _ShardFailure(f"shard {self.index} is dead")
         self._next_id += 1
         try:
             self._results[self._next_id] = (True, _execute_command(self._state, command, payload))
@@ -345,7 +370,12 @@ class ClusterStats:
     backend: str
     mode: str
     shards: Tuple[ShardStats, ...]
-    #: Requests/dispatches moved to another shard after a worker failure.
+    #: Requests displaced by worker failures.  Each queued or in-flight
+    #: request counts **once per serving call**, no matter how many shards
+    #: die underneath it before it lands (a rapid double-kill moves a
+    #: request twice but displaces it once) — so the counter reconciles
+    #: against admissions: within one call, ``requeued`` can never exceed
+    #: the number of distinct requests dispatched.
     requeued: int
 
     @property
@@ -468,6 +498,12 @@ class ServingCluster:
     start_timeout_s / call_timeout_s:
         How long to wait for worker startup acks / command replies before
         declaring a shard dead.
+    fault_hook:
+        Optional callable ``hook(cluster, point)`` invoked at documented
+        injection points inside :meth:`run` (``"run:start"`` once per
+        call, ``"run:round"`` before every dispatch round).  Chaos tests
+        use it to kill shards deterministically while their requests are
+        in flight; it must not submit or drain work itself.
     """
 
     def __init__(
@@ -484,6 +520,7 @@ class ServingCluster:
         mode: str = "auto",
         start_timeout_s: float = 120.0,
         call_timeout_s: float = 600.0,
+        fault_hook: Optional[Callable[["ServingCluster", str], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -507,12 +544,19 @@ class ServingCluster:
         self.max_batch_frames = max_batch_frames
         self.max_pending = max_pending
         self.call_timeout_s = call_timeout_s
+        self.fault_hook = fault_hook
         self.requeued = 0
         self._closed = False
         self._stream_shard: Dict[str, int] = {}
+        #: Live-stream count per shard index, maintained incrementally so
+        #: balanced routing stays O(workers) per placement even with
+        #: millions of streams (the soak harness's user populations).
+        self._stream_counts: Dict[int, int] = {}
         self._workload_shard: Dict[str, int] = {}
         self._served_requests: Dict[int, int] = {}
         self._served_frames: Dict[int, int] = {}
+        self._saturated: Set[int] = set()
+        self._start_timeout_s = start_timeout_s
         warm = tuple(warm_plans)
         for plan in warm:
             if plan.backend != self.backend_name:
@@ -520,6 +564,7 @@ class ServingCluster:
                     f"warm plan {plan.workload!r} targets backend "
                     f"{plan.backend!r}, cluster runs {self.backend_name!r}"
                 )
+        self._warm = warm
         self.mode = "inline"
         self._shards: List[Any] = []
         if mode in ("auto", "process"):
@@ -623,19 +668,17 @@ class ServingCluster:
         if index is not None and self._shards[index].alive:
             return self._shards[index]
         live = self._live_shards()
-        loads = {
-            shard.index: sum(
-                1
-                for stream, assigned in self._stream_shard.items()
-                if assigned == shard.index and self._shards[assigned].alive
-            )
-            for shard in live
-        }
         chosen = max(
             live,
-            key=lambda shard: (-loads[shard.index], self._hash_rank(stream_id, shard.index)),
+            key=lambda shard: (
+                -self._stream_counts.get(shard.index, 0),
+                self._hash_rank(stream_id, shard.index),
+            ),
         )
+        if index is not None:  # moving off a dead shard
+            self._stream_counts[index] = self._stream_counts.get(index, 1) - 1
         self._stream_shard[stream_id] = chosen.index
+        self._stream_counts[chosen.index] = self._stream_counts.get(chosen.index, 0) + 1
         return chosen
 
     def _route_workload(self, workload_name: str) -> Any:
@@ -651,6 +694,176 @@ class ServingCluster:
     def _mark_dead(self, shard: Any) -> None:
         shard.alive = False
         shard.close()
+
+    # ------------------------------------------------------- fault injection
+    def _fire_hook(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(self, point)
+
+    def live_shard_indices(self) -> Tuple[int, ...]:
+        """Indices of the shards still alive (chaos controllers pick victims)."""
+        return tuple(shard.index for shard in self._shards if shard.alive)
+
+    def kill_worker(self, shard_index: Optional[int] = None) -> int:
+        """Chaos primitive: kill one live worker; returns the victim's index.
+
+        In process mode the worker *process* is terminated but the shard is
+        **not** marked dead — exactly like a real crash, death is discovered
+        at the next dispatch, so in-flight and queued requests go through
+        the ordinary requeue/recovery paths.  Inline shards have no process
+        to kill, so they are marked dead immediately (their
+        :meth:`_InlineShard.send` then raises the same shard failure).
+
+        Refuses to kill the last live shard: the cluster's contract is that
+        it only fails when *no* shard is left, and a chaos schedule that
+        beheads the whole cluster is a broken schedule, not a survivable
+        fault.
+        """
+        self._check_open()
+        live = self._live_shards()
+        if len(live) <= 1:
+            raise ClusterError("refusing to kill the last live shard")
+        if shard_index is None:
+            victim = live[0]
+        else:
+            matches = [shard for shard in live if shard.index == shard_index]
+            if not matches:
+                raise ValueError(f"shard {shard_index} is not alive")
+            victim = matches[0]
+        if isinstance(victim, _ProcessShard):
+            victim._process.terminate()
+            victim._process.join(timeout=5.0)
+        else:
+            self._mark_dead(victim)
+        return victim.index
+
+    def saturate_shard(self, shard_index: Optional[int] = None) -> int:
+        """Chaos primitive: clamp one live shard's admission bound to its
+        current depth (at least 1), so its next :meth:`submit` raises
+        :class:`ClusterBackpressure`.  Returns the saturated shard's index;
+        :meth:`restore_shards` lifts every clamp.
+        """
+        self._check_open()
+        live = self._live_shards()
+        if shard_index is None:
+            victim = live[0]
+        else:
+            matches = [shard for shard in live if shard.index == shard_index]
+            if not matches:
+                raise ValueError(f"shard {shard_index} is not alive")
+            victim = matches[0]
+        victim.queue.set_bound(max(1, len(victim.queue)))
+        self._saturated.add(victim.index)
+        return victim.index
+
+    def restore_shards(self) -> Tuple[int, ...]:
+        """Lift every :meth:`saturate_shard` clamp; returns restored indices."""
+        self._check_open()
+        restored = []
+        for shard in self._shards:
+            if shard.index in self._saturated and shard.alive:
+                shard.queue.set_bound(self.max_pending)
+                restored.append(shard.index)
+        self._saturated.clear()
+        return tuple(restored)
+
+    def flip_mode(self) -> str:
+        """Chaos primitive: rebuild every live shard in the opposite worker
+        mode (``process`` ↔ ``inline``) without losing a queued request.
+
+        Queued requests are held aside, the live shards are torn down and
+        rebuilt under the target mode at the *same indices* (routing tables
+        stay valid), and the held requests are resubmitted to their sticky
+        owners.  If the target mode cannot start (sandboxes that forbid
+        processes), the cluster stays in its current mode — the flip is a
+        no-op, not a failure.  Returns the mode the cluster ends up in.
+        """
+        self._check_open()
+        live = self._live_shards()
+        target = "inline" if self.mode == "process" else "process"
+        held: List[Tuple[str, str, int, float]] = []
+        for shard in live:
+            held.extend(
+                (r.stream_id, r.workload, r.frames, r.arrival_s)
+                for r in shard.queue.drain()
+            )
+        replacements: Dict[int, Any] = {}
+        try:
+            if target == "process":
+                import multiprocessing
+
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else "spawn"
+                )
+                for shard in live:
+                    replacements[shard.index] = _ProcessShard(
+                        shard.index,
+                        context,
+                        self._handle,
+                        self.instances_per_worker,
+                        self.max_batch_frames,
+                        self._warm,
+                        self.max_pending,
+                    )
+                for replacement in replacements.values():
+                    replacement.wait_ready(self._start_timeout_s)
+            else:
+                for shard in live:
+                    replacements[shard.index] = _InlineShard(
+                        shard.index,
+                        self._handle,
+                        self.instances_per_worker,
+                        self.max_batch_frames,
+                        self._warm,
+                        self.max_pending,
+                    )
+        except (_ShardFailure, OSError, ValueError, ImportError):
+            for replacement in replacements.values():
+                replacement.close()
+            replacements = {}
+            target = self.mode  # flip unavailable: stay put
+        if replacements:
+            for shard in live:
+                shard.close()
+            self._shards = [
+                replacements.get(shard.index, shard) for shard in self._shards
+            ]
+            self.mode = target
+            self._saturated.clear()  # fresh queues carry the default bound
+        for stream_id, workload_name, frames, arrival_s in held:
+            # Sticky owners survived the flip (same indices are alive) and
+            # rebuilt queues carry the default bound; if the flip was a
+            # no-op a saturated clamp may still be in force — widen it
+            # rather than lose a request that was already admitted.
+            shard = self._route_stream(stream_id)
+            try:
+                shard.queue.submit(
+                    stream_id, workload_name, frames=frames, arrival_s=arrival_s
+                )
+            except QueueFull:
+                shard.queue.set_bound(len(shard.queue) + 1)
+                shard.queue.submit(
+                    stream_id, workload_name, frames=frames, arrival_s=arrival_s
+                )
+        return self.mode
+
+    def evict_frame_caches(self) -> int:
+        """Chaos primitive: drop every live worker's pixel frame cache.
+
+        Returns the total number of evicted entries; a worker that fails to
+        answer is marked dead (the usual failure contract).
+        """
+        self._check_open()
+        dropped = 0
+        for shard in list(self._live_shards()):
+            try:
+                dropped += shard.receive(
+                    shard.send("evict_frame_cache", None), self.call_timeout_s
+                )
+            except _ShardFailure:
+                self._mark_dead(shard)
+        return dropped
 
     # ------------------------------------------------------------- admission
     def submit(
@@ -697,13 +910,29 @@ class ServingCluster:
         requeued onto the remaining live shards.
         """
         self._check_open()
-        pending: Dict[int, Tuple[Tuple[str, str, int, float], ...]] = {}
-        orphaned: List[Tuple[str, str, int, float]] = []
+        self._fire_hook("run:start")
+        # Every drained request carries a per-call token; ``counted`` keeps
+        # the ``requeued`` counter at once-per-request semantics even when
+        # several shards die underneath the same request (a rapid
+        # double-kill moves it twice but displaces it once).
+        tokens = itertools.count()
+        counted: Set[int] = set()
+        _Item = Tuple[str, str, int, float]
+        _Tagged = Tuple[int, _Item]
+
+        def displace(tagged: Sequence[_Tagged]) -> None:
+            for token, _ in tagged:
+                if token not in counted:
+                    counted.add(token)
+                    self.requeued += 1
+
+        pending: Dict[int, Tuple[_Tagged, ...]] = {}
+        orphaned: List[_Tagged] = []
         for shard in self._shards:
             if not len(shard.queue):
                 continue
             drained = tuple(
-                (r.stream_id, r.workload, r.frames, r.arrival_s)
+                (next(tokens), (r.stream_id, r.workload, r.frames, r.arrival_s))
                 for r in shard.queue.drain()
             )
             if shard.alive:
@@ -711,54 +940,52 @@ class ServingCluster:
             else:
                 # The shard died (marked by an earlier dispatch) with
                 # requests still queued: requeue them onto live shards.
-                self.requeued += len(drained)
+                displace(drained)
                 orphaned.extend(drained)
-        for stream_id, workload_name, frames, arrival_s in orphaned:
-            shard = self._route_stream(stream_id)
-            pending[shard.index] = pending.get(shard.index, ()) + (
-                (stream_id, workload_name, frames, arrival_s),
-            )
+        for token, item in orphaned:
+            shard = self._route_stream(item[0])
+            pending[shard.index] = pending.get(shard.index, ()) + ((token, item),)
         # A list, not a dict: after a failure the requeued requests run as a
         # *second* schedule on a surviving shard, so one shard index may
         # legitimately contribute more than one report.
         reports: List[Tuple[int, ServingReport]] = []
         while pending:
-            in_flight: List[Tuple[Any, int, Tuple[Tuple[str, str, int, float], ...]]] = []
-            failed: List[Tuple[str, str, int, float]] = []
-            for index, payload in sorted(pending.items()):
+            self._fire_hook("run:round")
+            in_flight: List[Tuple[Any, int, Tuple[_Tagged, ...]]] = []
+            failed: List[_Tagged] = []
+            for index, tagged in sorted(pending.items()):
                 shard = self._shards[index]
+                payload = tuple(item for _, item in tagged)
                 try:
-                    in_flight.append((shard, shard.send("run", payload), payload))
+                    in_flight.append((shard, shard.send("run", payload), tagged))
                 except _ShardFailure:
                     self._mark_dead(shard)
-                    self.requeued += len(payload)
-                    failed.extend(payload)
+                    displace(tagged)
+                    failed.extend(tagged)
             pending = {}
-            for shard, request_id, payload in in_flight:
+            for shard, request_id, tagged in in_flight:
                 try:
                     report = shard.receive(request_id, self.call_timeout_s)
                 except _ShardFailure:
                     self._mark_dead(shard)
-                    self.requeued += len(payload)
-                    failed.extend(payload)
+                    displace(tagged)
+                    failed.extend(tagged)
                     continue
                 reports.append((shard.index, report))
                 self._served_requests[shard.index] = (
-                    self._served_requests.get(shard.index, 0) + len(payload)
+                    self._served_requests.get(shard.index, 0) + len(tagged)
                 )
                 self._served_frames[shard.index] = (
                     self._served_frames.get(shard.index, 0)
-                    + sum(frames for _, _, frames, _ in payload)
+                    + sum(item[2] for _, item in tagged)
                 )
             if failed:
                 # Re-route every failed request through the (now smaller)
                 # live set; stream stickiness re-assigns dead placements.
-                regrouped: Dict[int, List[Tuple[str, str, int, float]]] = {}
-                for stream_id, workload_name, frames, arrival_s in failed:
-                    shard = self._route_stream(stream_id)
-                    regrouped.setdefault(shard.index, []).append(
-                        (stream_id, workload_name, frames, arrival_s)
-                    )
+                regrouped: Dict[int, List[_Tagged]] = {}
+                for token, item in failed:
+                    shard = self._route_stream(item[0])
+                    regrouped.setdefault(shard.index, []).append((token, item))
                 pending = {index: tuple(items) for index, items in regrouped.items()}
         return ClusterReport(
             backend=self.backend_name,
@@ -771,13 +998,16 @@ class ServingCluster:
     def _dispatch_with_recovery(self, route_key: str, command: str, payload: Any) -> Any:
         """Send a pixel command to the owning shard, failing over on death."""
         attempts = len(self._shards)
-        for _ in range(attempts):
+        for attempt in range(attempts):
             shard = self._route_workload(route_key)
             try:
                 return shard.receive(shard.send(command, payload), self.call_timeout_s)
             except _ShardFailure:
                 self._mark_dead(shard)
-                self.requeued += 1
+                if attempt == 0:
+                    # One request displaced once, however many failovers it
+                    # takes to land (see ClusterStats.requeued).
+                    self.requeued += 1
         raise ClusterError("no live shard left in the cluster")
 
     def execute_frame(
@@ -827,6 +1057,14 @@ class ServingCluster:
             return []
         results: List[Optional[InferenceResult]] = [None] * len(images)
         remaining = list(range(len(images)))
+        displaced: Set[int] = set()  # frame indices already counted requeued
+
+        def displace(indices: Sequence[int]) -> None:
+            for index in indices:
+                if index not in displaced:
+                    displaced.add(index)
+                    self.requeued += 1
+
         while remaining:
             live = self._live_shards()
             # One contiguous chunk of the still-missing indices per live
@@ -850,13 +1088,13 @@ class ServingCluster:
                     in_flight.append((shard, request_id, indices))
                 except _ShardFailure:
                     self._mark_dead(shard)
-                    self.requeued += len(indices)
+                    displace(indices)
             for shard, request_id, indices in in_flight:
                 try:
                     chunk = shard.receive(request_id, self.call_timeout_s)
                 except _ShardFailure:
                     self._mark_dead(shard)
-                    self.requeued += len(indices)
+                    displace(indices)
                     continue
                 for index, result in zip(indices, chunk):
                     results[index] = result

@@ -17,6 +17,7 @@ tests pin.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -73,6 +74,18 @@ class RequestQueue:
 
     def __len__(self) -> int:
         return len(self._pending)
+
+    def set_bound(self, max_pending: Optional[int]) -> None:
+        """Re-bound the queue in place (``None`` lifts the bound).
+
+        Already-admitted requests are never evicted: a bound below the
+        current depth only refuses *new* admissions until the queue drains
+        under it.  The cluster's ``saturate_shard`` chaos primitive uses
+        this to force backpressure on a live shard.
+        """
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be positive (or None for unbounded)")
+        self.max_pending = max_pending
 
     def submit(
         self, stream_id: str, workload: str, *, frames: int = 1, arrival_s: float = 0.0
@@ -224,6 +237,26 @@ class ScheduleResult:
     def utilization(self, instance: int) -> float:
         makespan = self.makespan_s
         return self.instance_busy_s[instance] / makespan if makespan else 0.0
+
+    def latency_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[float, float]:
+        """Nearest-rank latency percentiles over the served requests.
+
+        Exact (no interpolation) and therefore deterministic: quantile
+        ``q`` maps to the ``ceil(q * n)``-th smallest latency.  Returns
+        ``{}`` when nothing was served.
+        """
+        latencies = sorted(record.latency_s for record in self.records)
+        if not latencies:
+            return {}
+        result: Dict[float, float] = {}
+        for q in quantiles:
+            if not 0.0 < q <= 1.0:
+                raise ValueError(f"quantile {q} outside (0, 1]")
+            rank = max(1, math.ceil(q * len(latencies)))
+            result[q] = latencies[rank - 1]
+        return result
 
     def stream_stats(self) -> Dict[str, StreamStats]:
         """Per-stream FPS/latency, keyed by stream id (sorted iteration order)."""

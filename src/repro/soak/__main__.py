@@ -1,0 +1,6 @@
+"""``python -m repro.soak`` — alias of the ``repro-soak`` entry point."""
+
+from repro.soak.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

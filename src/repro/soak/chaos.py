@@ -1,0 +1,210 @@
+"""Chaos schedules: when to hurt the cluster, and the record of doing so.
+
+A chaos schedule is a list of :class:`ChaosEvent` — *what* to inject
+(taxonomy below) and *when*, as a fraction of the soak's total admissions
+(``kill-worker@50%`` fires once half the requests have been admitted).
+The :class:`ChaosController` owns the schedule during a run: the harness
+calls :meth:`ChaosController.advance` with the running admission count and
+the controller fires every event whose threshold has been crossed, through
+the fault-injection primitives on
+:class:`~repro.runtime.cluster.ServingCluster`.
+
+Event taxonomy (``ChaosEvent.kind``):
+
+* ``kill-worker`` — terminate a live worker
+  (:meth:`~repro.runtime.cluster.ServingCluster.kill_worker`); skipped and
+  recorded as not-applied when only one shard is left, because beheading
+  the cluster is a broken schedule, not a survivable fault;
+* ``saturate-shard`` — clamp one shard's admission bound so the next
+  submit raises :class:`~repro.runtime.cluster.ClusterBackpressure`
+  (lifted by the harness's next drain via :meth:`after_drain`);
+* ``flip-mode`` — tear down and rebuild every live shard in the opposite
+  worker mode without losing a queued request;
+* ``evict-frame-cache`` — drop every worker's pixel frame cache (cold
+  restart of the pixel path).
+
+Determinism: events fire at admission *counts*, never at wall-clock
+times, and victims are chosen by the primitives' deterministic rules — so
+a seeded soak run applies byte-identical chaos every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.cluster import ClusterError, ServingCluster
+
+#: The chaos taxonomy (see the module docstring).
+CHAOS_KINDS: Tuple[str, ...] = (
+    "kill-worker",
+    "saturate-shard",
+    "flip-mode",
+    "evict-frame-cache",
+)
+
+
+class ChaosSpecError(ValueError):
+    """A chaos spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled injection: ``kind`` at ``at_fraction`` of admissions."""
+
+    kind: str
+    at_fraction: float
+    #: Optional explicit victim shard (``kill-worker`` / ``saturate-shard``);
+    #: ``None`` lets the cluster primitive pick deterministically.
+    shard: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ChaosSpecError(
+                f"unknown chaos kind {self.kind!r}; expected one of {CHAOS_KINDS}"
+            )
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ChaosSpecError(
+                f"chaos fraction {self.at_fraction} outside [0, 1]"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosEvent":
+        """Parse ``kind@fraction`` (``kill-worker@50%`` or ``@0.5``)."""
+        if "@" not in spec:
+            raise ChaosSpecError(
+                f"bad chaos spec {spec!r}: expected kind@fraction "
+                "(e.g. kill-worker@50%)"
+            )
+        kind, _, where = spec.partition("@")
+        where = where.strip()
+        try:
+            fraction = (
+                float(where[:-1]) / 100.0 if where.endswith("%") else float(where)
+            )
+        except ValueError as exc:
+            raise ChaosSpecError(f"bad chaos fraction {where!r} in {spec!r}") from exc
+        return cls(kind=kind.strip(), at_fraction=fraction)
+
+    def render(self) -> str:
+        return f"{self.kind}@{self.at_fraction:.0%}"
+
+
+@dataclass(frozen=True)
+class AppliedChaos:
+    """What one scheduled event actually did during the run."""
+
+    event: ChaosEvent
+    #: Admission count at which the controller fired the event.
+    fired_at: int
+    #: False when the event was skipped (e.g. killing the last live shard).
+    applied: bool
+    #: Victim shard index for targeted events, ``None`` otherwise.
+    victim: Optional[int] = None
+    #: Victim's queue depth at kill time — the requests the kill displaced
+    #: (property tests reconcile the cluster's requeue counter against it).
+    displaced_hint: int = 0
+    detail: str = ""
+
+
+def random_schedule(
+    seed: int,
+    *,
+    events: int = 3,
+    kinds: Sequence[str] = CHAOS_KINDS,
+) -> List[ChaosEvent]:
+    """A seeded random chaos schedule (the property tests' generator)."""
+    if events < 0:
+        raise ValueError("events cannot be negative")
+    rng = np.random.default_rng(seed)
+    schedule = [
+        ChaosEvent(
+            kind=str(kinds[int(rng.integers(0, len(kinds)))]),
+            at_fraction=float(rng.uniform(0.1, 0.9)),
+        )
+        for _ in range(events)
+    ]
+    return sorted(schedule, key=lambda event: event.at_fraction)
+
+
+@dataclass
+class ChaosController:
+    """Fires a chaos schedule against a cluster as admissions progress."""
+
+    cluster: ServingCluster
+    schedule: Sequence[ChaosEvent]
+    total_requests: int
+    applied: List[AppliedChaos] = field(default_factory=list)
+    _next: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_requests < 1:
+            raise ValueError("total_requests must be positive")
+        self.schedule = sorted(self.schedule, key=lambda event: event.at_fraction)
+
+    @property
+    def pending(self) -> int:
+        """Events not yet fired."""
+        return len(self.schedule) - self._next
+
+    def advance(self, admitted: int) -> List[AppliedChaos]:
+        """Fire every event whose admission threshold has been crossed."""
+        fired: List[AppliedChaos] = []
+        while self._next < len(self.schedule):
+            event = self.schedule[self._next]
+            if admitted < event.at_fraction * self.total_requests:
+                break
+            self._next += 1
+            fired.append(self._apply(event, admitted))
+        self.applied.extend(fired)
+        return fired
+
+    def _apply(self, event: ChaosEvent, admitted: int) -> AppliedChaos:
+        cluster = self.cluster
+        if event.kind == "kill-worker":
+            live = cluster.live_shard_indices()
+            if len(live) <= 1:
+                return AppliedChaos(
+                    event, admitted, applied=False,
+                    detail="skipped: last live shard",
+                )
+            victim_index = event.shard if event.shard in live else None
+            depth_before = cluster.queue_depths()
+            victim = cluster.kill_worker(victim_index)
+            return AppliedChaos(
+                event, admitted, applied=True, victim=victim,
+                displaced_hint=depth_before.get(victim, 0),
+                detail=f"killed shard {victim}",
+            )
+        if event.kind == "saturate-shard":
+            victim_index = (
+                event.shard if event.shard in cluster.live_shard_indices() else None
+            )
+            victim = cluster.saturate_shard(victim_index)
+            return AppliedChaos(
+                event, admitted, applied=True, victim=victim,
+                detail=f"saturated shard {victim}",
+            )
+        if event.kind == "flip-mode":
+            before = cluster.mode
+            after = cluster.flip_mode()
+            return AppliedChaos(
+                event, admitted, applied=after != before,
+                detail=f"mode {before} -> {after}",
+            )
+        if event.kind == "evict-frame-cache":
+            dropped = cluster.evict_frame_caches()
+            return AppliedChaos(
+                event, admitted, applied=True,
+                detail=f"evicted {dropped} frame-cache entries",
+            )
+        raise ChaosSpecError(f"unknown chaos kind {event.kind!r}")  # unreachable
+
+    def after_drain(self) -> None:
+        """Post-drain repair: lift saturation clamps so admission resumes."""
+        try:
+            self.cluster.restore_shards()
+        except ClusterError:
+            pass  # the cluster is closed/dead; nothing to restore

@@ -51,6 +51,7 @@ class TestSuiteShape:
             "serving_burst_i2_b8@eyeriss",
             "cluster_scale@ecnn",
             "cluster_frames@ecnn",
+            "soak_chaos@ecnn",
             "execute_frame_denoise_96px@ecnn",
             "execute_frame_denoise_96px@frame_based",
             "execute_frame_parallel@ecnn",

@@ -95,6 +95,25 @@ class TestBoundedQueue:
         with pytest.raises(ValueError):
             RequestQueue(max_pending=0)
 
+    def test_set_bound_rebinds_in_place(self):
+        queue = RequestQueue(max_pending=2)
+        queue.submit("s", "w")
+        queue.submit("s", "w")
+        with pytest.raises(QueueFull):
+            queue.submit("s", "w")
+        queue.set_bound(3)
+        queue.submit("s", "w")
+        # Clamping below the current depth evicts nothing — it only
+        # refuses new admissions (the saturate_shard contract).
+        queue.set_bound(1)
+        assert len(queue) == 3
+        with pytest.raises(QueueFull):
+            queue.submit("s", "w")
+        queue.set_bound(None)
+        queue.submit("s", "w")
+        with pytest.raises(ValueError):
+            queue.set_bound(0)
+
 
 # ------------------------------------------------------------- inline cluster
 @pytest.fixture(scope="module")
@@ -338,6 +357,123 @@ class TestClusterProcesses:
             cluster._shards[0]._process.join()
             with pytest.raises(ClusterError):
                 cluster.execute_frame("denoise", synthetic_image(24, 24, seed=1))
+
+
+# -------------------------------------------------------------- chaos surface
+class TestFaultInjection:
+    """The cluster's fault-injection primitives (the repro.soak surface)."""
+
+    def test_kill_worker_refuses_the_last_live_shard(self):
+        with ServingCluster(workers=1, backend="ecnn", mode="inline") as cluster:
+            with pytest.raises(ClusterError, match="last live shard"):
+                cluster.kill_worker()
+
+    def test_kill_worker_inline_and_recovery(self):
+        with ServingCluster(workers=3, backend="ecnn", mode="inline") as cluster:
+            victim = cluster.kill_worker()
+            assert victim not in cluster.live_shard_indices()
+            assert len(cluster.live_shard_indices()) == 2
+            with pytest.raises(ValueError, match="not alive"):
+                cluster.kill_worker(victim)  # already dead
+            cluster.submit("after-kill", "denoise", frames=2)
+            report = cluster.run()
+            assert report.total_frames == 2
+
+    def test_saturate_and_restore(self):
+        with ServingCluster(
+            workers=2, backend="ecnn", mode="inline", max_pending=8
+        ) as cluster:
+            owner = cluster.submit("sat0", "denoise")
+            saturated = cluster.saturate_shard(owner)
+            assert saturated == owner
+            with pytest.raises(ClusterBackpressure):
+                cluster.submit("sat0", "denoise")
+            assert cluster.restore_shards() == (owner,)
+            cluster.submit("sat0", "denoise")  # admission resumed
+            assert cluster.run().total_frames == 2
+
+    def test_evict_frame_caches_drops_worker_pixel_caches(self):
+        image = synthetic_image(24, 24, seed=3)
+        with ServingCluster(workers=2, backend="ecnn", mode="inline") as cluster:
+            cluster.execute_frame("denoise", image)
+            cluster.execute_frame("denoise", image)  # second serve: cache hit
+            assert cluster.evict_frame_caches() >= 1
+            assert cluster.evict_frame_caches() == 0  # already empty
+
+    def test_flip_mode_preserves_queued_requests(self):
+        with ServingCluster(workers=2, backend="ecnn", mode="inline") as cluster:
+            for index in range(4):
+                cluster.submit(f"flip{index}", "denoise", frames=2)
+            flipped = cluster.flip_mode()
+            # Sandboxes that forbid processes keep the flip a no-op; either
+            # way every queued request must survive the transition.
+            assert flipped in ("process", "inline")
+            assert flipped == cluster.mode
+            assert sum(cluster.queue_depths().values()) == 4
+            assert cluster.run().total_frames == 8
+
+    def test_fault_hook_fires_at_documented_points(self):
+        points = []
+        with ServingCluster(
+            workers=2,
+            backend="ecnn",
+            mode="inline",
+            fault_hook=lambda cluster, point: points.append(point),
+        ) as cluster:
+            cluster.run()  # empty queues: no dispatch round
+            assert points == ["run:start"]
+            cluster.submit("hook0", "denoise")
+            cluster.run()
+            assert points == ["run:start", "run:start", "run:round"]
+
+    def test_rapid_double_kill_requeues_each_request_once(self):
+        """Regression: a request moved twice by two kills counts once.
+
+        The pre-fix accounting incremented ``requeued`` per *move*, so two
+        requests surviving two shard deaths inside one ``run()`` showed up
+        as four requeues and the counter could exceed the number of
+        requests the call dispatched.
+        """
+        kills = []
+
+        def double_kill(cluster, point):
+            if point != "run:round" or len(kills) >= 2:
+                return
+            owner = cluster._stream_shard.get("victim-stream")
+            if owner is not None and owner in cluster.live_shard_indices():
+                kills.append(cluster.kill_worker(owner))
+
+        with ServingCluster(
+            workers=3, backend="ecnn", mode="inline", fault_hook=double_kill
+        ) as cluster:
+            cluster.submit("victim-stream", "denoise")
+            cluster.submit("victim-stream", "denoise")
+            report = cluster.run()
+            # Both kills fired, both requests still served exactly once...
+            assert len(kills) == 2
+            assert len(set(kills)) == 2
+            assert sum(
+                len(shard.schedule.records) for _, shard in report.shard_reports
+            ) == 2
+            assert report.total_frames == 2
+            # ...and each displaced request counted once, not once per move.
+            assert cluster.requeued == 2
+
+    def test_requeued_never_exceeds_dispatched_requests_per_run(self):
+        def kill_everything_once(cluster, point):
+            if point == "run:round" and len(cluster.live_shard_indices()) > 1:
+                cluster.kill_worker()
+
+        with ServingCluster(
+            workers=4, backend="ecnn", mode="inline", fault_hook=kill_everything_once
+        ) as cluster:
+            for index in range(6):
+                cluster.submit(f"recon{index}", "denoise")
+            report = cluster.run()
+            assert sum(
+                len(shard.schedule.records) for _, shard in report.shard_reports
+            ) == 6
+            assert cluster.requeued <= 6
 
 
 # ------------------------------------------------------------------------ CLI

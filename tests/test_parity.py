@@ -231,6 +231,45 @@ class TestRandomizedBlockFlow:
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+class TestPostChaosParity:
+    """After every injected worker death, survivors stay bit-identical.
+
+    The soak harness's chaos discipline, pinned as a seeded sweep: draw a
+    pixel workload, serve it through a fresh inline cluster, kill the
+    owning shard (twice — down to the last survivor), and hold every
+    surviving shard's ``execute_frame`` output to ``assert_parity``
+    against the scalar single-process reference.
+    """
+
+    def test_survivors_bit_identical_after_each_worker_death(self, seed, assert_parity):
+        rng = np.random.default_rng(5000 + seed)
+        workload = str(rng.choice(sorted(PIXEL_WORKLOADS)))
+        low, high = PIXEL_WORKLOADS[workload]
+        # Snap to multiples of 4: style transfer's two downsamplers only
+        # accept frame sizes congruent to 0 or 1 mod 4.
+        height = int(rng.integers(low, high)) // 4 * 4
+        width = int(rng.integers(low, high)) // 4 * 4
+        image = synthetic_image(height, width, seed=seed)
+        session = Session(backend="ecnn", cache=ResultCache())
+        reference = session.execute(workload, image, parallel=False, cached=False)
+        with ServingCluster(workers=3, backend="ecnn", mode="inline") as chaos_cluster:
+            outputs = {"scalar_reference": reference}
+            outputs["before_chaos"] = chaos_cluster.execute_frame(
+                workload, image, cached=False
+            )
+            for death in (1, 2):
+                owner = chaos_cluster._workload_shard[workload]
+                chaos_cluster.kill_worker(owner)
+                outputs[f"after_death_{death}"] = chaos_cluster.execute_frame(
+                    workload, image, cached=False
+                )
+            assert len(chaos_cluster.live_shard_indices()) == 1
+            assert_parity(
+                outputs, context=f"seed={seed} workload={workload} post-chaos"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 class TestRandomizedServingStack:
     def test_session_engine_cluster_bit_identical(self, seed, engine, cluster, assert_parity):
         rng = np.random.default_rng(4000 + seed)

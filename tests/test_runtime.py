@@ -155,6 +155,22 @@ class TestScheduler:
         assert s1.max_latency_s == pytest.approx(0.042)
         assert stats["s3"].max_latency_s == pytest.approx(0.012)  # 0.112 - 0.1
 
+    def test_latency_percentiles_nearest_rank(self):
+        scheduler = Scheduler(_profiles(), num_instances=2, max_batch_frames=4)
+        result = scheduler.run(_queue_four_requests().drain())
+        # Sorted latencies: 0.012, 0.022, 0.024, 0.042 (see the timing test).
+        percentiles = result.latency_percentiles((0.25, 0.5, 0.95, 0.99, 1.0))
+        assert percentiles[0.25] == pytest.approx(0.012)
+        assert percentiles[0.5] == pytest.approx(0.022)
+        assert percentiles[0.95] == pytest.approx(0.042)
+        assert percentiles[0.99] == pytest.approx(0.042)
+        assert percentiles[1.0] == pytest.approx(0.042)
+        assert scheduler.run([]).latency_percentiles() == {}
+        with pytest.raises(ValueError):
+            result.latency_percentiles((0.0,))
+        with pytest.raises(ValueError):
+            result.latency_percentiles((1.5,))
+
     def test_batches_order_by_arrival_not_submission(self):
         # A request submitted first but arriving later must not be scheduled
         # ahead of an earlier-arriving one.
