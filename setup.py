@@ -15,11 +15,12 @@ _README = _ROOT / "README.md"
 
 setup(
     name="repro-ecnn",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Reproduction of eCNN (MICRO 2019): block-based CNN accelerator "
         "models with a multi-stream serving runtime, a sharded "
-        "multi-worker serving cluster and a soak & chaos harness"
+        "multi-worker serving cluster, a soak & chaos harness and a "
+        "static plan verifier"
     ),
     long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
     long_description_content_type="text/markdown",
@@ -34,6 +35,7 @@ setup(
             "repro-runtime=repro.runtime.cli:main",
             "repro-bench=repro.bench.cli:main",
             "repro-soak=repro.soak.cli:main",
+            "repro-check=repro.check.cli:main",
         ]
     },
     classifiers=[

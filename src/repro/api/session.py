@@ -121,6 +121,12 @@ class Session:
         Residency bound of the per-session pixel-result cache (LRU); pass
         ``None`` for an unbounded cache.  Frame results carry pixel data,
         so the default keeps this one bounded (unlike the analytic cache).
+    verify:
+        Run :func:`repro.check.verify_plan` on every freshly compiled plan
+        (the default); a plan with error-level diagnostics raises
+        :class:`~repro.check.PlanVerificationError` instead of entering the
+        cache.  Pass ``False`` to opt out (e.g. to collect full diagnostic
+        reports yourself, as the ``repro-check`` CLI does).
     """
 
     def __init__(
@@ -131,6 +137,7 @@ class Session:
         cache: Optional[ResultCache] = None,
         workloads: Optional[Mapping[str, RuntimeWorkload]] = None,
         frame_cache_entries: Optional[int] = 64,
+        verify: bool = True,
     ) -> None:
         from repro.runtime.cache import DEFAULT_CACHE, ResultCache
         from repro.runtime.workloads import WORKLOADS
@@ -143,6 +150,7 @@ class Session:
         self._workloads: Mapping[str, RuntimeWorkload] = (
             workloads if workloads is not None else WORKLOADS
         )
+        self.verify = verify
         #: Bounded content-addressed cache of pixel results: unlike the
         #: analytic ``cache`` (small dataclasses, unbounded), frame results
         #: carry pixel data, so residency is capped and LRU-evicted.
@@ -235,12 +243,27 @@ class Session:
         )
 
     def compile(self, workload_name: str) -> CompiledPlan:
-        """Backend-lowered plan for a workload (cached per content address)."""
+        """Backend-lowered plan for a workload (cached per content address).
+
+        Freshly compiled plans are statically verified by default (see the
+        ``verify`` session flag): verification runs inside the cached
+        computation, so it is paid once per content address and a plan with
+        error-level diagnostics never enters the cache — the call raises
+        :class:`~repro.check.PlanVerificationError` carrying the report.
+        """
         entry = self.workload(workload_name)
-        return self.cache.get_or_compute(
-            self._key("plan", entry),
-            lambda: self.backend.compile(entry.shared_network(), entry.spec),
-        )
+
+        def build() -> CompiledPlan:
+            plan = self.backend.compile(entry.shared_network(), entry.spec)
+            if self.verify:
+                from repro.check import PlanVerificationError, verify_plan
+
+                report = verify_plan(plan, config=self.config)
+                if not report.ok:
+                    raise PlanVerificationError(report)
+            return plan
+
+        return self.cache.get_or_compute(self._key("plan", entry), build)
 
     def profile(self, workload_name: str) -> PerfProfile:
         """Per-frame serving figures of a workload on this backend (cached)."""

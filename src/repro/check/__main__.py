@@ -1,0 +1,8 @@
+"""``python -m repro.check`` — entry point for the plan-verifier CLI."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

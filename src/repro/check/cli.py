@@ -1,0 +1,100 @@
+"""``repro-check`` — verify the workload catalogue across backends.
+
+Compiles every requested (backend, workload) pair through a scoped
+:class:`~repro.api.session.Session` and runs :func:`repro.check.verify_plan`
+on the result, printing one report per plan.  Exit status is non-zero when
+any report carries an error diagnostic, which is what makes the CI job
+blocking.
+
+Examples::
+
+    repro-check                          # every backend, every workload
+    repro-check --backend ecnn           # one backend
+    repro-check --workload denoise       # one workload, every backend
+    repro-check --all-backends --format json   # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.check.diagnostics import CheckReport, reports_to_json
+from repro.check.verifier import verify_plan
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Statically verify compiled plans of the workload catalogue.",
+    )
+    backends = parser.add_mutually_exclusive_group()
+    backends.add_argument(
+        "--backend",
+        action="append",
+        help="backend to check (repeatable); default: all registered backends",
+    )
+    backends.add_argument(
+        "--all-backends",
+        action="store_true",
+        help="check every registered backend (the default, made explicit)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        help="workload to check (repeatable); default: the whole catalogue",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print info-level diagnostics in human output",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.api import Session, available_backends
+    from repro.runtime.cache import ResultCache
+
+    backend_names = tuple(args.backend) if args.backend else available_backends()
+    reports: List[CheckReport] = []
+    for backend in backend_names:
+        # verify=False: the CLI runs verify_plan itself to *collect* full
+        # reports (a verifying session would stop at the first error).
+        session = Session(backend=backend, cache=ResultCache(), verify=False)
+        workload_names = (
+            tuple(args.workload) if args.workload else tuple(sorted(session.catalogue()))
+        )
+        for workload in workload_names:
+            try:
+                plan = session.compile(workload)
+            except KeyError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            reports.append(verify_plan(plan, config=session.config))
+
+    if args.format == "json":
+        print(reports_to_json(reports))
+    else:
+        for report in reports:
+            print(report.render(verbose=args.verbose))
+        errors = sum(len(report.errors) for report in reports)
+        warnings = sum(len(report.warnings) for report in reports)
+        print(
+            f"checked {len(reports)} plan(s) across {len(backend_names)} "
+            f"backend(s): {errors} error(s), {warnings} warning(s)"
+        )
+    return 0 if all(report.ok for report in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -43,7 +43,11 @@ from repro.fbisa.isa import (
     TILE_WIDTH,
 )
 from repro.fbisa.params import InstructionParameters
-from repro.fbisa.program import Program
+from repro.fbisa.program import (
+    Program,
+    ProgramValidationError,
+    instruction_violations,
+)
 from repro.models.ermodule import ERModule
 from repro.nn.layers import Conv2d, Layer, ReLU, ClippedReLU, Residual
 from repro.nn.network import Sequential
@@ -166,6 +170,8 @@ class _Lowering:
         # can be pinned to hold a long-lived residual source.
         self.current: BlockBufferId = BlockBufferId.DI
         self.pinned: Optional[BlockBufferId] = None
+        #: Physical buffers written so far, for eager per-emission validation.
+        self._written: set[BlockBufferId] = set()
 
     # -- buffer management -------------------------------------------------
     def _next_buffer(self) -> BlockBufferId:
@@ -262,9 +268,21 @@ class _Lowering:
             pooling=pooling,
             label=label,
         )
+        # Validate eagerly: a structurally broken instruction fails at its
+        # emission point (with index and opcode), not at the end of lowering.
+        index = len(self.program.instructions)
+        for violation in instruction_violations(index, instruction, self._written):
+            raise ProgramValidationError(
+                violation.message,
+                program=self.program.name,
+                index=violation.index,
+                opcode=violation.opcode,
+            )
         self.program.append(instruction)
         self.semantics.append(semantics)
         self.parameters.append(packed)
+        if not destination.is_virtual:
+            self._written.add(destination)
         self.current = destination
 
     def finalize_to_do(self) -> None:

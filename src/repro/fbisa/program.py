@@ -9,13 +9,106 @@ SR4ERNet needs only 45 lines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, Optional, Set
 
 from repro.fbisa.isa import BlockBufferId, Instruction, Opcode
 
 
 class ProgramValidationError(ValueError):
-    """Raised when a program violates FBISA structural rules."""
+    """Raised when a program violates FBISA structural rules.
+
+    Carries the failing position so compiler call sites and the static
+    verifier can report *which* instruction broke which rule:
+
+    ``program``
+        Name of the offending program (may be empty).
+    ``index``
+        Instruction index (``None`` for whole-program rules such as a
+        missing DI read).
+    ``opcode``
+        The offending instruction's :class:`~repro.fbisa.isa.Opcode`
+        (``None`` for whole-program rules).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        program: str = "",
+        index: Optional[int] = None,
+        opcode: Optional[Opcode] = None,
+    ) -> None:
+        super().__init__(message)
+        self.program = program
+        self.index = index
+        self.opcode = opcode
+
+
+@dataclass(frozen=True)
+class StructuralViolation:
+    """One structural-rule violation found in a program.
+
+    ``kind`` is a stable key (mapped to the ``ECNN11x`` rule ids by
+    :mod:`repro.check`): ``empty``, ``read-before-write``,
+    ``src-dst-conflict``, ``virtual-misuse``, ``no-di-read``,
+    ``no-do-write``.
+    """
+
+    kind: str
+    message: str
+    index: Optional[int] = None
+    opcode: Optional[Opcode] = None
+
+
+def instruction_violations(
+    index: int, instruction: Instruction, written: Set[BlockBufferId]
+) -> Iterator[StructuralViolation]:
+    """Structural violations of one instruction given the buffers written so far.
+
+    Shared by :meth:`Program.structural_violations` (whole-program sweep),
+    the compiler's eager per-emission check and the
+    :mod:`repro.check` verifier; does **not** mutate ``written``.
+    """
+    sources = [instruction.src] + (
+        [instruction.src_s] if instruction.src_s is not None else []
+    )
+    destinations = [instruction.dst] + (
+        [instruction.dst_s] if instruction.dst_s is not None else []
+    )
+    for operand in sources:
+        if operand.buffer is BlockBufferId.DO:
+            yield StructuralViolation(
+                "virtual-misuse",
+                f"line {index}: DO cannot be used as a source",
+                index=index,
+                opcode=instruction.opcode,
+            )
+        elif operand.buffer is not BlockBufferId.DI and operand.buffer not in written:
+            yield StructuralViolation(
+                "read-before-write",
+                f"line {index}: reads {operand.buffer.value} before any write",
+                index=index,
+                opcode=instruction.opcode,
+            )
+    for operand in destinations:
+        if operand.buffer is BlockBufferId.DI:
+            yield StructuralViolation(
+                "virtual-misuse",
+                f"line {index}: DI cannot be used as a destination",
+                index=index,
+                opcode=instruction.opcode,
+            )
+    if (
+        instruction.dst.buffer == instruction.src.buffer
+        and not instruction.dst.buffer.is_virtual
+    ):
+        yield StructuralViolation(
+            "src-dst-conflict",
+            f"line {index}: source and destination use the same block buffer "
+            f"{instruction.src.buffer.value}",
+            index=index,
+            opcode=instruction.opcode,
+        )
 
 
 @dataclass
@@ -72,8 +165,8 @@ class Program:
                 used.add(instruction.dst_s.buffer)
         return used
 
-    def validate(self) -> None:
-        """Check FBISA structural rules; raise :class:`ProgramValidationError`.
+    def structural_violations(self) -> Iterator[StructuralViolation]:
+        """Yield *every* structural-rule violation (the verifier reports all).
 
         Rules checked:
 
@@ -86,47 +179,50 @@ class Program:
           earlier instruction or is ``DI``.
         """
         if not self.instructions:
-            raise ProgramValidationError(f"program {self.name!r} is empty")
-        written: set[BlockBufferId] = set()
+            yield StructuralViolation("empty", f"program {self.name!r} is empty")
+            return
+        written: Set[BlockBufferId] = set()
         reads_di = False
         writes_do = False
         for index, instruction in enumerate(self.instructions):
+            yield from instruction_violations(index, instruction, written)
             sources = [instruction.src] + (
                 [instruction.src_s] if instruction.src_s is not None else []
             )
+            for operand in sources:
+                if operand.buffer is BlockBufferId.DI:
+                    reads_di = True
             destinations = [instruction.dst] + (
                 [instruction.dst_s] if instruction.dst_s is not None else []
             )
-            for operand in sources:
-                if operand.buffer is BlockBufferId.DO:
-                    raise ProgramValidationError(
-                        f"line {index}: DO cannot be used as a source"
-                    )
-                if operand.buffer is BlockBufferId.DI:
-                    reads_di = True
-                elif operand.buffer not in written:
-                    raise ProgramValidationError(
-                        f"line {index}: reads {operand.buffer.value} before any write"
-                    )
             for operand in destinations:
-                if operand.buffer is BlockBufferId.DI:
-                    raise ProgramValidationError(
-                        f"line {index}: DI cannot be used as a destination"
-                    )
                 if operand.buffer is BlockBufferId.DO:
                     writes_do = True
-            if instruction.dst.buffer == instruction.src.buffer and not instruction.dst.buffer.is_virtual:
-                raise ProgramValidationError(
-                    f"line {index}: source and destination use the same block buffer "
-                    f"{instruction.src.buffer.value}"
-                )
-            for operand in destinations:
-                if not operand.buffer.is_virtual:
+                elif not operand.buffer.is_virtual:
                     written.add(operand.buffer)
         if not reads_di:
-            raise ProgramValidationError(f"program {self.name!r} never reads DI")
+            yield StructuralViolation(
+                "no-di-read", f"program {self.name!r} never reads DI"
+            )
         if not writes_do:
-            raise ProgramValidationError(f"program {self.name!r} never writes DO")
+            yield StructuralViolation(
+                "no-do-write", f"program {self.name!r} never writes DO"
+            )
+
+    def validate(self) -> None:
+        """Check FBISA structural rules; raise :class:`ProgramValidationError`.
+
+        Raises on the first violation :meth:`structural_violations` finds,
+        with the instruction index and opcode attached (see
+        :class:`ProgramValidationError`).
+        """
+        for violation in self.structural_violations():
+            raise ProgramValidationError(
+                violation.message,
+                program=self.name,
+                index=violation.index,
+                opcode=violation.opcode,
+            )
 
     def listing(self) -> str:
         """Numbered textual listing of the program (Fig. 18 style)."""

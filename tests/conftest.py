@@ -10,9 +10,9 @@ import pytest
 from repro.analysis.workloads import synthetic_image
 from repro.models.baselines import build_plain_network
 from repro.models.ernet import build_dnernet, build_sr2ernet
-from repro.nn.layers import Conv2d, ReLU, Residual
+from repro.nn.layers import AddBias, ClippedReLU, Conv2d, ReLU, Residual
 from repro.nn.network import Network, Sequential
-from repro.nn.ops import PixelShuffle
+from repro.nn.ops import PixelShuffle, ZeroPad
 from repro.nn.tensor import FeatureMap
 
 
@@ -59,10 +59,55 @@ def assert_parity(outputs: Mapping[str, Any], *, context: str = "") -> None:
         )
 
 
+def draw_layer_stack(rng: np.random.Generator, channels: int) -> Sequential:
+    """A random little network whose layer mix exercises the fused kernels.
+
+    Shared by the parity suite and the static-analysis fuzz harness: any
+    stack this draws must both execute on every backend and pass
+    ``verify_network`` at a compatible block size.
+    """
+    layers = []
+    width = channels
+    for position in range(rng.integers(2, 5)):
+        kind = rng.choice(["conv", "relu", "clipped", "bias", "residual", "pad"])
+        if kind == "conv":
+            out = int(rng.integers(2, 9))
+            kernel = int(rng.choice([1, 3]))
+            padding = str(rng.choice(["valid", "zero"]))
+            layers.append(
+                Conv2d(width, out, kernel, padding=padding, seed=int(rng.integers(1e6)))
+            )
+            width = out
+        elif kind == "relu":
+            layers.append(ReLU())
+        elif kind == "clipped":
+            layers.append(ClippedReLU(float(rng.uniform(0.3, 2.0))))
+        elif kind == "bias":
+            layers.append(AddBias(rng.normal(size=width)))
+        elif kind == "pad":
+            layers.append(ZeroPad(int(rng.integers(1, 3))))
+        else:
+            layers.append(
+                Residual(
+                    [
+                        Conv2d(width, width, 3, padding="zero", seed=int(rng.integers(1e6))),
+                        ReLU(),
+                    ]
+                )
+            )
+    return Sequential(layers, name=f"random-{channels}")
+
+
 @pytest.fixture(name="assert_parity")
 def assert_parity_fixture():
     """The :func:`assert_parity` helper as a fixture (same callable)."""
     return assert_parity
+
+
+@pytest.fixture(name="draw_layer_stack")
+def draw_layer_stack_fixture():
+    """The :func:`draw_layer_stack` generator as a fixture (same callable)."""
+    return draw_layer_stack
 
 
 @pytest.fixture

@@ -82,6 +82,7 @@ class TestBackendRegistry:
             @register_backend
             class Duplicate:
                 name = "ecnn"
+                description = "duplicate of the ecnn backend name"
 
                 def compile(self, network, spec): ...
                 def profile(self, plan, spec): ...

@@ -24,9 +24,7 @@ from repro.api import Session
 from repro.core.blockflow import block_based_inference, frame_based_inference
 from repro.core.pipeline import BlockInferencePipeline
 from repro.models.baselines import build_plain_network
-from repro.nn.layers import AddBias, ClippedReLU, Conv2d, ReLU, Residual
-from repro.nn.network import Sequential
-from repro.nn.ops import MaxPool2x2, PixelShuffle, PixelUnshuffle, ZeroPad
+from repro.nn.ops import MaxPool2x2, PixelShuffle, PixelUnshuffle
 from repro.nn.tensor import BatchedFeatureMap, FeatureMap
 from repro.quant.quantize import quantize_network
 from repro.runtime import ResultCache, ServingCluster, ServingEngine
@@ -100,49 +98,21 @@ class TestAssertParityHelper:
 
 
 # ------------------------------------------------------------- random drawing
-def _draw_layer_stack(rng: np.random.Generator, channels: int) -> Sequential:
-    """A random little network whose layer mix exercises the fused kernels."""
-    layers = []
-    width = channels
-    for position in range(rng.integers(2, 5)):
-        kind = rng.choice(["conv", "relu", "clipped", "bias", "residual", "pad"])
-        if kind == "conv":
-            out = int(rng.integers(2, 9))
-            kernel = int(rng.choice([1, 3]))
-            padding = str(rng.choice(["valid", "zero"]))
-            layers.append(
-                Conv2d(width, out, kernel, padding=padding, seed=int(rng.integers(1e6)))
-            )
-            width = out
-        elif kind == "relu":
-            layers.append(ReLU())
-        elif kind == "clipped":
-            layers.append(ClippedReLU(float(rng.uniform(0.3, 2.0))))
-        elif kind == "bias":
-            layers.append(AddBias(rng.normal(size=width)))
-        elif kind == "pad":
-            layers.append(ZeroPad(int(rng.integers(1, 3))))
-        else:
-            layers.append(
-                Residual(
-                    [
-                        Conv2d(width, width, 3, padding="zero", seed=int(rng.integers(1e6))),
-                        ReLU(),
-                    ]
-                )
-            )
-    return Sequential(layers, name=f"random-{channels}")
-
-
+# The random stack generator lives in tests/conftest.py (draw_layer_stack)
+# so the static-analysis fuzz harness can reuse it; tests take it as a
+# fixture rather than importing conftest (an ambiguous module name when
+# the benchmarks suite is collected too).
 @pytest.mark.parametrize("seed", SEEDS)
 class TestRandomizedKernels:
-    def test_random_stack_forward_batch_matches_scalar(self, seed, assert_parity):
+    def test_random_stack_forward_batch_matches_scalar(
+        self, seed, assert_parity, draw_layer_stack
+    ):
         rng = np.random.default_rng(seed)
         channels = int(rng.integers(2, 7))
         height = int(rng.integers(8, 20))
         width = int(rng.integers(8, 20))
         batch = int(rng.integers(2, 6))
-        network = _draw_layer_stack(rng, channels)
+        network = draw_layer_stack(rng, channels)
         maps = [
             FeatureMap(data=rng.normal(size=(channels, height, width)))
             for _ in range(batch)
