@@ -32,6 +32,7 @@ from repro.nn.tensor import FeatureMap
 if TYPE_CHECKING:  # runtime modules are imported lazily: repro.runtime.engine
     # imports this module, so a top-level import here would be circular.
     from repro.runtime.cache import ResultCache
+    from repro.runtime.video import StreamFrameResult, VideoStream, VideoStreamStats
     from repro.runtime.workloads import RuntimeWorkload, WorkloadProfile
 
 
@@ -156,6 +157,10 @@ class Session:
         #: carry pixel data, so residency is capped and LRU-evicted.
         #: Serving the same frame of the same workload twice is a lookup.
         self.frame_cache = ResultCache(max_entries=frame_cache_entries)
+        #: Live video streams keyed by (stream id, workload); created on
+        #: first :meth:`execute_stream` and invalidated together with the
+        #: frame cache by :meth:`evict_pixel_caches`.
+        self._video_streams: Dict[Tuple[str, str], "VideoStream"] = {}
 
     # ------------------------------------------------------------- registries
     @property
@@ -401,6 +406,99 @@ class Session:
                     results[index] = result
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------ video streams
+    def video_stream(
+        self,
+        stream_id: str,
+        workload_name: str,
+        *,
+        threshold: float = 0.0,
+        metric: str = "mae",
+        max_cached_blocks: Optional[int] = None,
+        output_block: Optional[int] = None,
+    ) -> "VideoStream":
+        """The live :class:`~repro.runtime.video.VideoStream` for a stream id.
+
+        Created on first use; subsequent calls return the same stream with
+        the threshold/metric updated to the requested values (the reuse
+        decision is per frame, so reconfiguration never invalidates cached
+        blocks).  ``max_cached_blocks`` / ``output_block`` only apply at
+        creation — they shape long-lived per-stream state.
+        """
+        from repro.runtime.video import DEFAULT_MAX_CACHED_BLOCKS, VideoStream
+
+        self._pixel_entry(workload_name)
+        key = (str(stream_id), workload_name)
+        stream = self._video_streams.get(key)
+        if stream is None:
+            stream = VideoStream(
+                self,
+                stream_id=str(stream_id),
+                workload_name=workload_name,
+                threshold=threshold,
+                metric=metric,
+                max_cached_blocks=(
+                    max_cached_blocks
+                    if max_cached_blocks is not None
+                    else DEFAULT_MAX_CACHED_BLOCKS
+                ),
+                output_block=output_block,
+            )
+            self._video_streams[key] = stream
+        else:
+            stream.reconfigure(threshold=threshold, metric=metric)
+        return stream
+
+    def execute_stream(
+        self,
+        stream_id: str,
+        workload_name: str,
+        frame: FeatureMap,
+        *,
+        threshold: float = 0.0,
+        metric: str = "mae",
+        parallel: bool = True,
+        output_block: Optional[int] = None,
+    ) -> "StreamFrameResult":
+        """Serve the next ordered frame of a video stream by block deltas.
+
+        Frames of one ``(stream_id, workload)`` pair are diffed against
+        their predecessor at execution-block granularity; only changed
+        blocks re-run inference, the rest stitch from the stream's bounded
+        block cache.  ``threshold=0.0`` (the default) is exact-reuse mode —
+        the result is bit-identical to :meth:`execute` on the same frame.
+        See :class:`~repro.runtime.video.VideoStream`.
+        """
+        stream = self.video_stream(
+            stream_id,
+            workload_name,
+            threshold=threshold,
+            metric=metric,
+            output_block=output_block,
+        )
+        return stream.submit(frame, parallel=parallel)
+
+    @property
+    def video_stream_stats(self) -> Tuple["VideoStreamStats", ...]:
+        """Per-stream delta-reuse counters, ordered by (stream id, workload)."""
+        return tuple(
+            self._video_streams[key].stats for key in sorted(self._video_streams)
+        )
+
+    def evict_pixel_caches(self) -> int:
+        """Drop every pixel-carrying cache this session owns; returns entries dropped.
+
+        The single invalidation path behind the ``evict-frame-cache`` chaos
+        event: the whole-frame :attr:`frame_cache` and every video stream's
+        block cache (plus its predecessor frame) go together, so a delta
+        stream can never serve a block that outlived an eviction.
+        """
+        dropped = len(self.frame_cache)
+        self.frame_cache.clear()
+        for stream in self._video_streams.values():
+            dropped += stream.invalidate()
+        return dropped
 
     # --------------------------------------------------------------- serving
     def serving_profile(self, workload_name: str) -> WorkloadProfile:

@@ -38,6 +38,13 @@ Scenario families (see ``docs/performance.md`` for the full reading guide):
 * ``execute_frames_batch`` — the cross-frame batch path
   (:meth:`Session.execute_many`): a batch of distinct frames served in
   fused passes, verified bit-for-bit against per-frame scalar execution;
+* ``video_stream`` — the video delta-reuse A/B: seeded static / panning /
+  scene-cut camera sequences served frame by frame, full block inference
+  (baseline) vs :class:`~repro.runtime.video.VideoStream` exact-reuse
+  delta serving (optimized), recording the per-motion-model reuse curve,
+  requiring at least a 5x static-camera speedup and verifying every
+  served frame bit-identical to full re-inference at the same block
+  geometry;
 * ``hotpath_memoization`` — the A/B scenario: the same profile pass with
   the process-level memos disabled (baseline) and enabled (optimized),
   recording the measured speedup and checking the analytic figures are
@@ -567,6 +574,137 @@ def _execute_frames_batch_scenario(size: int = 16, frames: int = 32):
     )
 
 
+def _video_bench_sequence(kind: str, *, frames: int, seed: int, size: int):
+    """Seeded synthetic camera footage for the video-stream scenario.
+
+    ``static`` holds one frame; ``pan`` translates two columns per frame;
+    ``cut`` draws an unrelated frame each step.  Deterministic from the
+    seed (rule ECNN205), so the recorded reuse curve is reproducible.
+    """
+    from repro.nn.tensor import FeatureMap
+
+    current = synthetic_image(size, size, seed=seed)
+    sequence = [current]
+    for step in range(1, frames):
+        if kind == "pan":
+            current = FeatureMap(data=np.roll(current.data, 2, axis=2))
+        elif kind == "cut":
+            current = synthetic_image(size, size, seed=seed + 97 * step)
+        elif kind != "static":
+            raise ValueError(f"unknown sequence kind {kind!r}")
+        sequence.append(current)
+    return sequence
+
+
+def _video_stream_scenario(
+    size: int = 64,
+    output_block: int = 16,
+    static_frames: int = 16,
+    pan_frames: int = 6,
+    cut_frames: int = 4,
+):
+    from repro.core.blockflow import block_based_inference
+
+    def setup() -> None:
+        # Warm the plan compile and kernel memos so the first baseline
+        # phase times inference, not a cold build.
+        Session(backend="ecnn", cache=ResultCache()).execute(
+            "denoise", synthetic_image(size, size, seed=0), cached=False
+        )
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        # A fresh session per pass: stream counters (and the figures built
+        # from them) must not accumulate across repeats.
+        session = Session(backend="ecnn", cache=ResultCache())
+        network = session.compile("denoise").network
+        figures = []
+        extra = []
+        speedups = {}
+        total_frames = 0
+        for kind, count, seed in (
+            ("static", static_frames, 101),
+            ("pan", pan_frames, 202),
+            ("cut", cut_frames, 303),
+        ):
+            frames = _video_bench_sequence(kind, frames=count, seed=seed, size=size)
+            with recorder.phase(f"baseline_{kind}"):
+                start = time.perf_counter()
+                references = [
+                    block_based_inference(
+                        network, frame, output_block=output_block, parallel=True
+                    )[0]
+                    for frame in frames
+                ]
+                baseline_s = time.perf_counter() - start
+            stream = session.video_stream(
+                f"bench-{kind}", "denoise", output_block=output_block
+            )
+            with recorder.phase(f"delta_{kind}"):
+                start = time.perf_counter()
+                served = [stream.submit(frame) for frame in frames]
+                delta_s = time.perf_counter() - start
+            # Exact-reuse mode must be bit-identical to full per-frame
+            # re-inference at the stream's block geometry — every frame,
+            # every run.
+            for index, (result, reference) in enumerate(zip(served, references)):
+                if not np.array_equal(result.output.data, reference.data):
+                    raise AssertionError(
+                        f"delta reuse changed pixels: {kind} frame {index} "
+                        "differs from full re-inference"
+                    )
+            stats = stream.stats
+            speedups[kind] = baseline_s / delta_s
+            total_frames += count
+            # The reuse curve is deterministic (seeded footage, exact-mode
+            # reuse decisions); wall-time ratios go in ``extra``.
+            figures.extend(
+                [
+                    (f"reuse_rate:{kind}", stats.reuse_rate),
+                    (f"blocks_reused:{kind}", float(stats.blocks_reused)),
+                    (f"bytes_saved:{kind}", float(stats.bytes_saved)),
+                ]
+            )
+            extra.append((f"speedup:{kind}", speedups[kind]))
+            if kind == "static":
+                static_baseline_s, static_delta_s = baseline_s, delta_s
+            if kind == "cut" and stats.blocks_reused:
+                raise AssertionError(
+                    "scene cuts must never reuse a block; reused "
+                    f"{stats.blocks_reused}"
+                )
+        if speedups["static"] < 5.0:
+            raise AssertionError(
+                "static-camera delta serving must be at least 5x faster than "
+                f"full per-frame re-inference; measured {speedups['static']:.2f}x"
+            )
+        return ScenarioOutcome(
+            units=float(total_frames),
+            figures=tuple(figures),
+            extra=tuple(extra)
+            + (
+                ("baseline_s", static_baseline_s),
+                ("optimized_s", static_delta_s),
+                ("speedup", speedups["static"]),
+            ),
+        )
+
+    return BenchScenario(
+        name="video_stream",
+        description=(
+            f"video delta serving: static / panning / scene-cut {size}x{size} "
+            f"denoise sequences at output block {output_block}, full "
+            "per-frame block inference (baseline) vs VideoStream exact-reuse "
+            "delta serving (optimized); records the reuse curve per motion "
+            "model, requires >=5x on the static camera, and verifies every "
+            "served frame bit-identical to full re-inference"
+        ),
+        backends=("ecnn",),
+        unit="frames",
+        run=run,
+        setup=setup,
+    )
+
+
 def _hotpath_scenario(optimized_passes: int = 5):
     def one_pass() -> Tuple[Tuple[str, float], ...]:
         session = Session(backend="ecnn", cache=ResultCache())
@@ -644,6 +782,7 @@ def default_suite() -> BenchSuite:
         _execute_frame_scenario("frame_based"),
         _execute_frame_parallel_scenario(),
         _execute_frames_batch_scenario(),
+        _video_stream_scenario(),
         _hotpath_scenario(),
     ]
     return BenchSuite("default", scenarios)

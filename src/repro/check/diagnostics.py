@@ -159,6 +159,12 @@ _rule(
     "wall-clock; simulated clocks and perf_counter durations keep reports "
     "deterministic and comparable.",
 )
+_rule(
+    "ECNN205", "video-generator-seed", Severity.ERROR,
+    "Video trace/sequence generators must take an explicit `seed` parameter "
+    "and construct only seeded RNGs from it; unseeded randomness makes video "
+    "parity sweeps and soak replays irreproducible.",
+)
 
 
 @dataclass(frozen=True)

@@ -417,6 +417,95 @@ def block_based_inference_many(
     ]
 
 
+#: Residual metrics the delta path understands: mean / sum of absolute
+#: per-value differences over a block's *input window* (margin included).
+RESIDUAL_METRICS = ("mae", "sad")
+
+
+def pad_frame(image: FeatureMap, layers: Sequence[Layer]) -> np.ndarray:
+    """Zero-pad a frame by the stack's total input margin.
+
+    This is the canonical padding every block's input window is drawn from
+    (:func:`block_based_inference` builds the same array), exposed so the
+    video delta path can diff consecutive padded frames window-by-window.
+    """
+    margin = total_input_margin(layers)
+    return np.pad(image.data, ((0, 0), (margin, margin), (margin, margin)))
+
+
+def block_window_residuals(
+    prev_padded: np.ndarray,
+    cur_padded: np.ndarray,
+    grid: BlockGrid,
+    layers: Sequence[Layer],
+    *,
+    metric: str = "mae",
+) -> np.ndarray:
+    """Per-block residual between two padded frames over each input window.
+
+    The residual of a block is computed over the *entire* input window the
+    block consumes — margin included — so a zero residual proves the block's
+    output is unchanged (a block's output is a pure function of its input
+    window).  That is what makes threshold-0 reuse bit-exact by
+    construction rather than by approximation.
+
+    ``metric`` is ``"mae"`` (mean absolute difference per value) or
+    ``"sad"`` (sum of absolute differences, the classic block-matching
+    criterion); both are zero exactly when the windows are identical.
+    """
+    if metric not in RESIDUAL_METRICS:
+        raise ValueError(
+            f"unknown residual metric {metric!r}; expected one of {RESIDUAL_METRICS}"
+        )
+    if prev_padded.shape != cur_padded.shape:
+        raise ValueError(
+            f"padded frames differ in shape: {prev_padded.shape} vs {cur_padded.shape}"
+        )
+    margin = total_input_margin(layers)
+    residuals = np.empty(grid.num_blocks, dtype=np.float64)
+    for index, block in enumerate(grid.blocks):
+        prev = _block_window(prev_padded, block, margin)
+        cur = _block_window(cur_padded, block, margin)
+        diff = np.abs(cur.astype(np.float64) - prev.astype(np.float64))
+        residuals[index] = float(diff.sum()) if metric == "sad" else float(diff.mean())
+    return residuals
+
+
+def run_selected_blocks(
+    network: Sequential,
+    padded: np.ndarray,
+    grid: BlockGrid,
+    indices: Sequence[int],
+    qformat: Optional[str] = None,
+    *,
+    parallel: bool = True,
+) -> List[FeatureMap]:
+    """Run only the named blocks of a partition and return their outputs.
+
+    The selective counterpart of :func:`block_based_inference`: the caller
+    supplies the padded frame and the partition grid, names the block
+    indices to recompute, and gets each block's cropped output back in
+    ``indices`` order.  Pixels are bit-identical to a full run — the
+    parallel path reuses the same grouped-batch machinery, the scalar path
+    the same per-block ``forward`` — which is the invariant the video delta
+    path's exact-reuse mode rests on.
+    """
+    margin = total_input_margin(network.layers)
+    blocks = [grid.blocks[index] for index in indices]
+    if parallel:
+        jobs = [
+            (block, _block_window(padded, block, margin), qformat)
+            for block in blocks
+        ]
+        return _run_block_groups(network, jobs)
+    results: List[FeatureMap] = []
+    for block in blocks:
+        window = _block_window(padded, block, margin)
+        raw = network.forward(FeatureMap(data=window.copy(), qformat=qformat))
+        results.append(_crop_to_block(raw, block, network.layers))
+    return results
+
+
 def _crop_to_block(
     result: FeatureMap, block: BlockSpec, layers: Sequence[Layer]
 ) -> FeatureMap:

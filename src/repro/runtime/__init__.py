@@ -28,6 +28,12 @@ Modules
   surface (``kill_worker`` / ``saturate_shard`` / ``flip_mode`` /
   ``evict_frame_caches`` plus the ``fault_hook`` callback) that the
   :mod:`repro.soak` chaos tier drives;
+* :mod:`repro.runtime.video` — video-stream serving:
+  :class:`~repro.runtime.video.VideoStream` diffs ordered frames at
+  execution-block granularity (SAD/MAE residual per input window) and
+  re-runs inference only on changed blocks, stitching the rest from a
+  bounded per-stream block cache — bit-identical to full re-inference in
+  exact-reuse mode (threshold 0);
 * :mod:`repro.runtime.sweep` — process-parallel design-space sweeps,
   bit-identical to :func:`repro.analysis.sweeps.sweep`;
 * :mod:`repro.runtime.cli` — ``python -m repro.runtime --trace demo
@@ -58,6 +64,12 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.sweep import ParallelSweep
 from repro.runtime.trace import TRACES, TraceEvent, TrafficTrace, trace
+from repro.runtime.video import (
+    RESIDUAL_HISTOGRAM_EDGES,
+    StreamFrameResult,
+    VideoStream,
+    VideoStreamStats,
+)
 from repro.runtime.workloads import (
     WORKLOADS,
     RuntimeWorkload,
@@ -78,6 +90,7 @@ __all__ = [
     "InferenceRequest",
     "ParallelSweep",
     "QueueFull",
+    "RESIDUAL_HISTOGRAM_EDGES",
     "RequestQueue",
     "RequestRecord",
     "ResultCache",
@@ -88,10 +101,13 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "ShardStats",
+    "StreamFrameResult",
     "StreamStats",
     "TRACES",
     "TraceEvent",
     "TrafficTrace",
+    "VideoStream",
+    "VideoStreamStats",
     "WORKLOADS",
     "WorkloadAnalytics",
     "WorkloadProfile",

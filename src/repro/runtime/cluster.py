@@ -42,7 +42,9 @@ Semantics (documented in ``docs/serving.md``):
   lifts the clamp), :meth:`ServingCluster.flip_mode` tears every live
   shard down and rebuilds it in the opposite worker mode without losing a
   queued request, and :meth:`ServingCluster.evict_frame_caches` drops the
-  workers' pixel frame caches.  A pluggable ``fault_hook`` callable is
+  workers' pixel caches — whole-frame cache *and* video-stream delta
+  state, through the one shared invalidation path
+  (:meth:`repro.api.Session.evict_pixel_caches`).  A pluggable ``fault_hook`` callable is
   invoked at documented points inside :meth:`ServingCluster.run`
   (``"run:start"``, ``"run:round"``) so tests and chaos controllers can
   inject failures deterministically *while requests are in flight*.
@@ -71,6 +73,7 @@ from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.engine import ServingEngine, ServingReport
 from repro.runtime.scheduler import QueueFull, RequestQueue
 from repro.runtime.trace import TrafficTrace
+from repro.runtime.video import StreamFrameResult, VideoStreamStats
 from repro.runtime.workloads import WorkloadProfile
 
 
@@ -116,6 +119,8 @@ class _WorkerSnapshot:
 
     cache: CacheStats
     frame_cache: FrameCacheStats
+    #: Delta-reuse counters of the worker's live video streams.
+    video_streams: Tuple[VideoStreamStats, ...] = ()
 
 
 class _WorkerState:
@@ -163,17 +168,31 @@ def _execute_command(state: _WorkerState, command: str, payload: Any) -> Any:
         return state.engine.execute_frames(
             workload_name, frames, parallel=parallel, cached=cached
         )
+    if command == "execute_stream":
+        stream_id, workload_name, frame, threshold, metric, parallel, output_block = payload
+        return state.engine.execute_stream(
+            stream_id,
+            workload_name,
+            frame,
+            threshold=threshold,
+            metric=metric,
+            parallel=parallel,
+            output_block=output_block,
+        )
     if command == "profile":
         return state.session.serving_profile(payload)
     if command == "stats":
         return _WorkerSnapshot(
             cache=state.session.cache.stats,
             frame_cache=state.session.frame_cache_stats,
+            video_streams=state.session.video_stream_stats,
         )
     if command == "evict_frame_cache":
-        dropped = len(state.session.frame_cache)
-        state.session.frame_cache.clear()
-        return dropped
+        # One shared invalidation path: the whole-frame cache and every
+        # video stream's block cache (plus its predecessor frame) drop
+        # together, so a chaos eviction can never leave a stale delta
+        # block servable (see Session.evict_pixel_caches).
+        return state.session.evict_pixel_caches()
     if command == "ping":
         return "pong"
     raise ValueError(f"unknown cluster command {command!r}")
@@ -361,6 +380,9 @@ class ShardStats:
     cache: Optional[CacheStats] = None
     #: The worker session's pixel frame-cache counters (``None`` for a dead shard).
     frame_cache: Optional[FrameCacheStats] = None
+    #: Delta-reuse counters of the worker's video streams (empty for a dead
+    #: shard or a worker that served no ``execute_stream`` traffic).
+    video_streams: Tuple[VideoStreamStats, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -849,10 +871,15 @@ class ServingCluster:
         return self.mode
 
     def evict_frame_caches(self) -> int:
-        """Chaos primitive: drop every live worker's pixel frame cache.
+        """Chaos primitive: drop every live worker's pixel caches.
 
-        Returns the total number of evicted entries; a worker that fails to
-        answer is marked dead (the usual failure contract).
+        One shared invalidation path per worker
+        (:meth:`repro.api.Session.evict_pixel_caches`): the whole-frame
+        cache and every video stream's delta state (block cache +
+        predecessor frame) drop together, so a stream that survives the
+        eviction recomputes its next frame in full instead of serving a
+        stale block.  Returns the total number of evicted entries; a worker
+        that fails to answer is marked dead (the usual failure contract).
         """
         self._check_open()
         dropped = 0
@@ -1105,6 +1132,48 @@ class ServingCluster:
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
+    def execute_stream(
+        self,
+        stream_id: str,
+        workload_name: str,
+        image: FeatureMap,
+        *,
+        threshold: float = 0.0,
+        metric: str = "mae",
+        parallel: bool = True,
+        output_block: Optional[int] = None,
+    ) -> StreamFrameResult:
+        """Serve a video stream's next frame on the shard owning the stream.
+
+        Routing is the *sticky stream* placement (not the workload hash):
+        ordered frames of one stream land on one worker, so the stream's
+        predecessor frame and block cache stay shard-local.  If the owning
+        shard dies the stream fails over to a live shard, whose fresh
+        stream state recomputes the next frame in full — failover costs
+        reuse, never correctness.
+        """
+        self._check_open()
+        self.session.workload(workload_name)
+        payload = (
+            str(stream_id), workload_name, image, threshold, metric, parallel, output_block
+        )
+        for attempt in range(len(self._shards)):
+            shard = self._route_stream(str(stream_id))
+            try:
+                result = shard.receive(
+                    shard.send("execute_stream", payload), self.call_timeout_s
+                )
+            except _ShardFailure:
+                self._mark_dead(shard)
+                if attempt == 0:
+                    self.requeued += 1
+                continue
+            self._served_frames[shard.index] = (
+                self._served_frames.get(shard.index, 0) + 1
+            )
+            return result
+        raise ClusterError("no live shard left in the cluster")
+
     # ------------------------------------------------------------- analytics
     def profile(self, workload_name: str) -> WorkloadProfile:
         """The serving profile, answered by the shard owning the workload."""
@@ -1139,6 +1208,7 @@ class ServingCluster:
                     served_frames=self._served_frames.get(shard.index, 0),
                     cache=snapshot.cache if snapshot else None,
                     frame_cache=snapshot.frame_cache if snapshot else None,
+                    video_streams=snapshot.video_streams if snapshot else (),
                 )
             )
         return ClusterStats(

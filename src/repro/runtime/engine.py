@@ -42,6 +42,7 @@ from repro.nn.tensor import FeatureMap
 from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.scheduler import RequestQueue, ScheduleResult, Scheduler
 from repro.runtime.trace import TrafficTrace
+from repro.runtime.video import StreamFrameResult, VideoStreamStats
 from repro.runtime.workloads import RuntimeWorkload, WorkloadProfile
 
 
@@ -87,6 +88,9 @@ class ServingReport:
     #: Counters of the session's bounded pixel frame cache at report time
     #: (``None`` only for reports built before PR 5's serving-stats work).
     frame_cache: Optional[FrameCacheStats] = None
+    #: Per-stream delta-reuse counters of the session's live video streams
+    #: (empty unless the engine served ``execute_stream`` traffic).
+    video_streams: Tuple[VideoStreamStats, ...] = ()
 
     def render(self) -> str:
         """The CLI's throughput/latency report."""
@@ -125,6 +129,8 @@ class ServingReport:
         )
         if self.frame_cache is not None and self.frame_cache.lookups:
             summary += f"\nframe cache: {self.frame_cache.describe()}"
+        for stream_stats in self.video_streams:
+            summary += f"\nvideo {stream_stats.describe()}"
         return "\n\n".join([streams, instances, summary])
 
 
@@ -178,6 +184,11 @@ class ServingEngine:
         """Counters of the session's bounded pixel frame cache."""
         return self.session.frame_cache_stats
 
+    @property
+    def video_stream_stats(self) -> Tuple[VideoStreamStats, ...]:
+        """Delta-reuse counters of the session's live video streams."""
+        return self.session.video_stream_stats
+
     # ------------------------------------------------------------------ admission
     def submit(
         self, stream_id: str, workload_name: str, *, frames: int = 1, arrival_s: float = 0.0
@@ -201,6 +212,7 @@ class ServingEngine:
             cache=self.cache.stats,
             backend=self.backend_name,
             frame_cache=self.session.frame_cache_stats,
+            video_streams=self.session.video_stream_stats,
         )
 
     # ------------------------------------------------------------------ analytics
@@ -298,6 +310,39 @@ class ServingEngine:
         return self.session.execute_many(
             workload_name, images, parallel=parallel, cached=cached
         )
+
+    def execute_stream(
+        self,
+        stream_id: str,
+        workload_name: str,
+        image: FeatureMap,
+        *,
+        threshold: float = 0.0,
+        metric: str = "mae",
+        parallel: bool = True,
+        output_block: Optional[int] = None,
+    ) -> StreamFrameResult:
+        """Serve the next ordered frame of a video stream by block deltas.
+
+        Delegates to :meth:`repro.api.Session.execute_stream`: only blocks
+        whose input-window residual against the stream's previous frame
+        exceeds ``threshold`` re-run inference; the rest stitch from the
+        stream's bounded block cache.  ``threshold=0.0`` is exact-reuse
+        mode — pixels are bit-identical to :meth:`execute_frame`.
+        """
+        return self.session.execute_stream(
+            stream_id,
+            workload_name,
+            image,
+            threshold=threshold,
+            metric=metric,
+            parallel=parallel,
+            output_block=output_block,
+        )
+
+    def evict_pixel_caches(self) -> int:
+        """Drop the session's frame cache and video block caches together."""
+        return self.session.evict_pixel_caches()
 
     def catalogue(self) -> Dict[str, str]:
         """Name -> description of the servable workloads."""

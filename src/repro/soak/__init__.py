@@ -54,6 +54,7 @@ from repro.soak.tracegen import (
     bursty_trace,
     diurnal_trace,
     poisson_trace,
+    video_stream_trace,
 )
 
 __all__ = [
@@ -78,4 +79,5 @@ __all__ = [
     "random_schedule",
     "run_soak",
     "validate_report",
+    "video_stream_trace",
 ]

@@ -21,6 +21,10 @@ Arrival processes
   ``rate_rps * (1 + depth * sin(2*pi*t / period_s))`` realized by
   thinning, modelling the day/night swing of an edge deployment; the
   time-averaged rate equals ``rate_rps`` exactly.
+* ``video_stream`` — a fixed pool of cameras emitting one frame per visit
+  round-robin, with seeded geometric scene lengths and a workload redraw
+  at each scene cut: the sticky-stream traffic the delta-reuse video tier
+  (:mod:`repro.runtime.video`) is built for.
 
 Every generator draws the requesting user uniformly from a ``users``-sized
 population (stream ids ``u0000000`` …), the workload from a weighted mix
@@ -213,11 +217,75 @@ def diurnal_trace(
     return _emit(times(), draw)
 
 
+def video_stream_trace(
+    *,
+    rate_rps: float,
+    users: int,
+    seed: int,
+    cut_probability: float = 0.02,
+    workload_mix: Sequence[Tuple[str, float]] = DEFAULT_WORKLOAD_MIX,
+    max_active_streams: int = 64,
+) -> Iterator[TraceEvent]:
+    """Fixed-camera video feeds: sticky streams with seeded scene cuts.
+
+    Models the delta-reuse serving scenario: a bounded pool of cameras
+    (``min(users, max_active_streams)`` streams named ``cam000`` …) each
+    emits one frame per visit, round-robin at an aggregate ``rate_rps``.
+    Every camera plays *scenes* — runs of consecutive frames on one
+    workload whose lengths are geometric with parameter
+    ``cut_probability`` — and draws a fresh workload from ``workload_mix``
+    at each scene cut, mirroring how a real feed invalidates its block
+    cache on a cut.  State is one small record per camera, so memory is
+    O(pool), independent of how many events are taken.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if users < 1:
+        raise ValueError("users must be positive")
+    if max_active_streams < 1:
+        raise ValueError("max_active_streams must be positive")
+    if not 0.0 < cut_probability <= 1.0:
+        raise ValueError("cut_probability must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    names = [name for name, _ in workload_mix]
+    weights = np.array([weight for _, weight in workload_mix], dtype=float)
+    if len(names) == 0 or np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("workload_mix needs positive total weight")
+    weights = weights / weights.sum()
+    pool = min(users, max_active_streams)
+    gap = 1.0 / rate_rps
+
+    def events() -> Iterator[TraceEvent]:
+        # Per-camera scene state: frames left in the current scene and the
+        # scene's workload.  Scene lengths are geometric draws, refreshed
+        # lazily — O(pool) memory forever.
+        remaining = [0] * pool
+        scene_workload = [""] * pool
+        t = 0.0
+        camera = 0
+        while True:
+            if remaining[camera] <= 0:
+                remaining[camera] = int(rng.geometric(cut_probability))
+                scene_workload[camera] = names[int(rng.choice(len(names), p=weights))]
+            remaining[camera] -= 1
+            t += gap
+            yield TraceEvent(
+                time_s=t,
+                stream_id=f"cam{camera:03d}",
+                workload=scene_workload[camera],
+                frames=1,
+            )
+            camera = (camera + 1) % pool
+
+    return events()
+
+
 #: Arrival-process registry — the ``--arrival`` choices of the soak CLI.
 ARRIVALS: Dict[str, Callable[..., Iterator[TraceEvent]]] = {
     "poisson": poisson_trace,
     "bursty": bursty_trace,
     "diurnal": diurnal_trace,
+    "video_stream": video_stream_trace,
 }
 
 

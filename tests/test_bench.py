@@ -56,6 +56,7 @@ class TestSuiteShape:
             "execute_frame_denoise_96px@frame_based",
             "execute_frame_parallel@ecnn",
             "execute_frames_batch@ecnn",
+            "video_stream@ecnn",
             "hotpath_memoization@ecnn",
         )
 

@@ -495,6 +495,36 @@ class TestRepoLint:
             "import time\nd = time.perf_counter()\n", "src/repro/bench/demo.py"
         ).ok
 
+    def test_unseeded_video_generator_is_ecnn205(self, lint):
+        source = (
+            "import numpy as np\n"
+            "def video_noise_trace(rate_rps, users):\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng\n"
+        )
+        report = lint.lint_source(source, "src/repro/soak/demo.py")
+        assert [d.rule_id for d in report.diagnostics] == ["ECNN205", "ECNN205"]
+        assert "seed" in report.diagnostics[0].message
+        assert report.diagnostics[1].location == "src/repro/soak/demo.py:3"
+
+    def test_seeded_video_generator_passes_ecnn205(self, lint):
+        source = (
+            "import numpy as np\n"
+            "def video_stream_trace(*, rate_rps, users, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng\n"
+        )
+        assert lint.lint_source(source, "src/repro/soak/demo.py").ok
+        assert lint.lint_source(source, "tests/helpers.py").ok
+
+    def test_video_generator_rule_is_scoped(self, lint):
+        # Outside tests/soak/bench the video-generator rule stays silent —
+        # runtime code may build sequences however it likes.
+        source = "def make_video_sequence(kind):\n    return []\n"
+        assert lint.lint_source(source, "src/repro/runtime/demo.py").ok
+        report = lint.lint_source(source, "src/repro/bench/demo.py")
+        assert [d.rule_id for d in report.diagnostics] == ["ECNN205"]
+
     def test_repository_is_lint_clean(self, lint):
         reports = lint.lint_paths(
             [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], root=REPO_ROOT

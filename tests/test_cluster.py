@@ -400,6 +400,37 @@ class TestFaultInjection:
             assert cluster.evict_frame_caches() >= 1
             assert cluster.evict_frame_caches() == 0  # already empty
 
+    def test_evict_frame_caches_invalidates_video_block_caches(self):
+        """Regression: whole-frame and delta block caches share one eviction.
+
+        The pre-fix ``evict_frame_cache`` command only cleared the
+        whole-frame result cache, so a video stream surviving the chaos
+        event would happily keep serving delta blocks cached *before* the
+        eviction — exactly the staleness the event is meant to flush.  The
+        shared ``Session.evict_pixel_caches`` path drops the block caches
+        and predecessor frames too, which shows up as the next stream frame
+        recomputing in full (``residuals is None``) instead of reusing.
+        """
+        image = synthetic_image(32, 32, seed=11)
+        with ServingCluster(workers=2, backend="ecnn", mode="inline") as cluster:
+            reference = cluster.execute_frame(
+                "denoise", image, cached=False
+            ).output.data
+            cluster.execute_stream("evict-cam", "denoise", image)
+            warm = cluster.execute_stream("evict-cam", "denoise", image)
+            assert warm.blocks_reused == warm.blocks_total  # delta cache is hot
+            # The eviction reports the video blocks it dropped, not just the
+            # whole-frame entries (the frame cache is empty: cached=False
+            # plus streams bypass it).
+            assert cluster.evict_frame_caches() >= warm.blocks_total
+            after = cluster.execute_stream("evict-cam", "denoise", image)
+            assert after.residuals is None  # no stale predecessor to diff against
+            assert after.blocks_reused == 0
+            assert after.blocks_recomputed == after.blocks_total
+            # And the recomputed frame is still bit-identical — eviction
+            # costs work, never pixels.
+            assert np.array_equal(after.output.data, reference)
+
     def test_flip_mode_preserves_queued_requests(self):
         with ServingCluster(workers=2, backend="ecnn", mode="inline") as cluster:
             for index in range(4):

@@ -239,6 +239,125 @@ class TestPostChaosParity:
             )
 
 
+#: Synthetic video motion models the delta-reuse tier must stay exact under.
+VIDEO_KINDS = ("static", "noise", "pan", "cut")
+
+
+def _video_sequence(kind, *, height, width, frames, seed):
+    """A seeded synthetic frame sequence (replayable from its seed).
+
+    ``static`` repeats one frame; ``noise`` perturbs a small random patch
+    per frame (localized change); ``pan`` translates by two columns per
+    frame (np.roll — global but structured change); ``cut`` draws an
+    unrelated frame each step (full invalidation).
+    """
+    rng = np.random.default_rng(seed)
+    sequence = [synthetic_image(height, width, seed=seed)]
+    for step in range(1, frames):
+        previous = sequence[-1]
+        if kind == "static":
+            sequence.append(previous)
+        elif kind == "noise":
+            data = previous.data.copy()
+            patch = 8
+            row = int(rng.integers(0, height - patch))
+            col = int(rng.integers(0, width - patch))
+            data[:, row : row + patch, col : col + patch] += rng.normal(
+                scale=0.05, size=(previous.channels, patch, patch)
+            )
+            sequence.append(FeatureMap(data=data))
+        elif kind == "pan":
+            sequence.append(FeatureMap(data=np.roll(previous.data, 2, axis=2)))
+        elif kind == "cut":
+            sequence.append(synthetic_image(height, width, seed=seed + 1000 * step))
+        else:
+            raise ValueError(f"unknown sequence kind {kind!r}")
+    return sequence
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRandomizedVideoStreams:
+    """Delta-reuse serving is bit-identical to full re-inference.
+
+    For every seed, workload and motion model, each frame served through
+    the video-stream tier (session and sharded cluster, exact-reuse mode at
+    the default block geometry) must equal the scalar and block-parallel
+    full re-inference of that same frame — reuse is an optimization, never
+    an approximation.
+    """
+
+    @pytest.mark.parametrize("kind", VIDEO_KINDS)
+    def test_stream_delta_bit_identical_across_tiers(
+        self, seed, kind, cluster, assert_parity
+    ):
+        rng = np.random.default_rng(6000 + seed)
+        workload = str(rng.choice(sorted(PIXEL_WORKLOADS)))
+        low, high = PIXEL_WORKLOADS[workload]
+        # Snap to multiples of 4 for style transfer's two downsamplers.
+        height = int(rng.integers(low, high)) // 4 * 4
+        width = int(rng.integers(low, high)) // 4 * 4
+        frames = _video_sequence(
+            kind, height=height, width=width, frames=3, seed=seed
+        )
+        session = Session(backend="ecnn", cache=ResultCache())
+        stream_id = f"vid-{seed}-{kind}"
+        for index, frame in enumerate(frames):
+            served = session.execute_stream(stream_id, workload, frame)
+            assert_parity(
+                {
+                    "scalar": session.execute(
+                        workload, frame, parallel=False, cached=False
+                    ),
+                    "block_parallel": session.execute(
+                        workload, frame, parallel=True, cached=False
+                    ),
+                    "stream_delta": served.output,
+                    "cluster_stream": cluster.execute_stream(
+                        stream_id, workload, frame
+                    ).output,
+                },
+                context=f"seed={seed} kind={kind} workload={workload} frame={index}",
+            )
+        stats = next(
+            s for s in session.video_stream_stats if s.stream_id == stream_id
+        )
+        assert stats.frames == len(frames)
+        # Exact-reuse mode never serves a block whose window changed.
+        assert stats.max_reused_residual == 0.0
+        if kind == "static":
+            assert stats.blocks_reused > 0
+
+    def test_thresholded_reuse_error_is_bounded_and_measured(self, seed):
+        rng = np.random.default_rng(7000 + seed)
+        height = int(rng.integers(24, 49))
+        width = int(rng.integers(24, 49))
+        threshold = 1e-2
+        base = synthetic_image(height, width, seed=seed)
+        noisy = FeatureMap(
+            data=base.data + rng.normal(scale=1e-4, size=base.data.shape)
+        )
+        session = Session(backend="ecnn", cache=ResultCache())
+        stream = session.video_stream("lossy", "denoise", threshold=threshold)
+        stream.submit(base)
+        served = stream.submit(noisy)
+        reference_prev = session.execute(
+            "denoise", base, parallel=False, cached=False
+        ).output.data
+        reference_cur = session.execute(
+            "denoise", noisy, parallel=False, cached=False
+        ).output.data
+        # Low-amplitude noise reuses everything; the served pixels are the
+        # predecessor's exact output, so the error against fresh
+        # re-inference is bounded by the drift between the two references —
+        # a measured bound, not a trust-me bound.
+        assert served.blocks_reused == served.blocks_total
+        assert np.array_equal(served.output.data, reference_prev)
+        error = float(np.abs(served.output.data - reference_cur).max())
+        assert error <= float(np.abs(reference_cur - reference_prev).max())
+        stats = stream.stats
+        assert 0.0 < stats.max_reused_residual <= threshold
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 class TestRandomizedServingStack:
     def test_session_engine_cluster_bit_identical(self, seed, engine, cluster, assert_parity):

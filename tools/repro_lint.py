@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""AST-based repository-invariant linter (rules ECNN201-ECNN204).
+"""AST-based repository-invariant linter (rules ECNN201-ECNN205).
 
 Drives the :mod:`repro.check.diagnostics` machinery over Python sources to
 enforce the project invariants that grew with the serving/soak tiers:
@@ -20,6 +20,12 @@ enforce the project invariants that grew with the serving/soak tiers:
   the deterministic bench/soak paths (``src/repro/bench/``,
   ``src/repro/soak/``); simulated clocks and ``perf_counter`` durations
   keep reports reproducible.
+* **ECNN205 video-generator-seed** — video trace/sequence generators (any
+  function whose name mentions both ``video`` and ``trace``/``sequence``
+  in the test/soak/bench tiers) must take an explicit ``seed`` parameter
+  and must not construct unseeded RNGs (zero-argument ``default_rng()``
+  or ``Random()``) in their bodies; the video parity suite and soak
+  replays depend on frame-exact reproducibility.
 
 Usage::
 
@@ -73,6 +79,29 @@ def _rng_scoped(relpath: str) -> bool:
 def _wallclock_scoped(relpath: str) -> bool:
     parts = Path(relpath).parts
     return "repro" in parts and ("bench" in parts or "soak" in parts)
+
+
+def _video_generator_scoped(relpath: str) -> bool:
+    parts = Path(relpath).parts
+    return _rng_scoped(relpath) or ("repro" in parts and "bench" in parts)
+
+
+def _is_video_generator(name: str) -> bool:
+    lowered = name.lower()
+    return "video" in lowered and ("trace" in lowered or "sequence" in lowered)
+
+
+def _unseeded_rng_calls(func: ast.AST) -> Iterable[ast.Call]:
+    """Zero-argument ``default_rng()`` / ``Random()`` constructions."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call) or node.args or node.keywords:
+            continue
+        callee = node.func
+        attr = callee.attr if isinstance(callee, ast.Attribute) else (
+            callee.id if isinstance(callee, ast.Name) else ""
+        )
+        if attr in ("default_rng", "Random"):
+            yield node
 
 
 class _ModuleIndex(ast.NodeVisitor):
@@ -229,6 +258,34 @@ def lint_source(source: str, relpath: str) -> CheckReport:
                 location=location,
             )
 
+    if _video_generator_scoped(relpath):
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_video_generator(func.name):
+                continue
+            params = {
+                arg.arg
+                for arg in (
+                    func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+                )
+            }
+            if "seed" not in params:
+                report.add(
+                    "ECNN205",
+                    f"video generator {func.name}() has no `seed` parameter; "
+                    "video traces/sequences must be replayable from a seed",
+                    location=f"{relpath}:{func.lineno}",
+                )
+            for call in _unseeded_rng_calls(func):
+                report.add(
+                    "ECNN205",
+                    f"video generator {func.name}() constructs an unseeded "
+                    "RNG; pass the generator's `seed` through "
+                    "default_rng(seed) / Random(seed)",
+                    location=f"{relpath}:{call.lineno}",
+                )
+
     for cls in index.classes.values():
         decorators = [_decorator_name(d) for d in cls.decorator_list]
         location = f"{relpath}:{cls.lineno}"
@@ -302,7 +359,7 @@ def lint_paths(paths: Sequence[str], *, root: Optional[Path] = None) -> List[Che
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro_lint",
-        description="Enforce repository invariants (rules ECNN201-ECNN204).",
+        description="Enforce repository invariants (rules ECNN201-ECNN205).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(
