@@ -15,7 +15,7 @@ _README = _ROOT / "README.md"
 
 setup(
     name="repro-ecnn",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of eCNN (MICRO 2019): block-based CNN accelerator "
         "models with a multi-stream serving runtime, a sharded "

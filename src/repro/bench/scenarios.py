@@ -26,6 +26,14 @@ Scenario families (see ``docs/performance.md`` for the full reading guide):
   max-sustainable-fps capacity curve (monotonic in the worker count),
   proving exactly-once request accounting and re-verifying post-chaos
   pixels bit-identical to the single-process scalar reference;
+* ``gateway_slo`` — the SLO-gateway A/B (:mod:`repro.gateway`): a seeded
+  bursty overload trace served FIFO with no admission control (baseline)
+  vs through :class:`~repro.gateway.SLOGateway` with the EDF policy on
+  identical capacity (optimized), gating on the gateway holding tail
+  latency and deadline-miss rate (FIFO must miss at least 2x more
+  deadlines), proving exactly-once accounting of admitted requests,
+  counting every degradation, and re-verifying non-degraded pixels
+  bit-identical to the single-process reference;
 * ``execute_frame_*`` — the pixel-serving path on the block-based eCNN
   backend and a whole-frame baseline (steady-state serving: repeats of the
   same frame are answered from the session's content-addressed frame
@@ -429,6 +437,167 @@ def _soak_chaos_scenario(
     )
 
 
+def _gateway_slo_scenario(
+    requests: int = 400,
+    instances: int = 2,
+    rate_rps: float = 120.0,
+    seed: int = 11,
+):
+    from itertools import islice
+
+    from repro.gateway import AdmissionRejected, SLOGateway
+    from repro.gateway.slo import DEFAULT_SLO_CLASSES, DEFAULT_WORKLOAD_SLO, resolve_slo
+    from repro.soak.tracegen import bursty_trace
+
+    image = synthetic_image(64, 64, seed=seed)
+
+    def overload_events():
+        # Regenerated from the seed on every pass so a run's admission
+        # decisions (and therefore its figures) are repeat-deterministic.
+        return list(
+            islice(bursty_trace(rate_rps=rate_rps, users=64, seed=seed), requests)
+        )
+
+    def setup() -> None:
+        for name in CATALOGUE:
+            Session(backend="ecnn", cache=ResultCache()).serving_profile(name)
+            try:
+                Session(backend="frame_based", cache=ResultCache()).serving_profile(name)
+            except Exception:
+                pass  # fallback backend cannot serve this workload
+
+    def run(recorder: PhaseRecorder) -> ScenarioOutcome:
+        events = overload_events()
+        # Baseline: FIFO order, no admission control — every request is
+        # queued with the deadline its SLO class would have given it.
+        fifo_engine = ServingEngine(
+            num_instances=instances, backend="ecnn", cache=ResultCache()
+        )
+        with recorder.phase("fifo"):
+            for event in events:
+                slo_class = resolve_slo(
+                    event.workload, None, DEFAULT_SLO_CLASSES, DEFAULT_WORKLOAD_SLO
+                )
+                fifo_engine.submit(
+                    event.stream_id,
+                    event.workload,
+                    frames=event.frames,
+                    arrival_s=event.time_s,
+                    deadline_s=event.time_s + slo_class.deadline_s,
+                    priority=slo_class.priority,
+                )
+            fifo_schedule = fifo_engine.run().schedule
+        fifo_misses = fifo_schedule.deadline_misses
+        fifo_p99 = fifo_schedule.latency_percentiles()[0.99]
+
+        # Optimized: the SLO gateway fronting identical capacity with the
+        # EDF policy — admission control sheds or degrades what cannot
+        # meet its budget instead of letting the queue rot.
+        engine = ServingEngine(
+            num_instances=instances, backend="ecnn", cache=ResultCache(), policy="edf"
+        )
+        gateway = SLOGateway(engine)
+        ledger = {}
+        with recorder.phase("gateway"):
+            for event in events:
+                try:
+                    ticket = gateway.admit(
+                        event.stream_id,
+                        event.workload,
+                        frames=event.frames,
+                        arrival_s=event.time_s,
+                    )
+                except AdmissionRejected:
+                    continue
+                if ticket.queued:
+                    key = (ticket.stream_id, ticket.workload, ticket.frames, ticket.arrival_s)
+                    ledger[key] = ledger.get(key, 0) + 1
+            report = gateway.drain_now()
+        stats = report.stats
+        served = {}
+        for _, schedule in report.schedules:
+            for record in schedule.records:
+                request = record.request
+                key = (request.stream_id, request.workload, request.frames, request.arrival_s)
+                served[key] = served.get(key, 0) + 1
+        lost = sum(count - served.get(key, 0) for key, count in ledger.items() if count > served.get(key, 0))
+        duplicated = sum(count - ledger.get(key, 0) for key, count in served.items() if count > ledger.get(key, 0))
+        if lost or duplicated:
+            raise AssertionError(
+                f"gateway serving lost {lost} / duplicated {duplicated} "
+                "admitted requests (exactly-once violated)"
+            )
+        gateway_misses = stats.deadline_misses
+        if fifo_misses < 2 * max(gateway_misses, 1):
+            raise AssertionError(
+                "FIFO without admission control must miss at least 2x more "
+                f"deadlines than the gateway; measured FIFO {fifo_misses} vs "
+                f"gateway {gateway_misses}"
+            )
+        gateway_p99 = report.latency_s["p99"]
+        if gateway_p99 > fifo_p99:
+            raise AssertionError(
+                "the gateway must hold p99 latency at or below the FIFO "
+                f"baseline; measured {gateway_p99:.3f}s vs {fifo_p99:.3f}s"
+            )
+        if stats.degraded != len(report.degrade_log):
+            raise AssertionError(
+                f"degraded count {stats.degraded} does not match the degrade "
+                f"log ({len(report.degrade_log)} decisions)"
+            )
+        with recorder.phase("verify"):
+            # Non-degraded serving must stay bit-identical: probe one pixel
+            # frame through the gateway's primary engine against a fresh
+            # single-process reference.
+            probe = engine.execute_frame("denoise", image, cached=False)
+            reference = ServingEngine(
+                backend="ecnn", cache=ResultCache()
+            ).execute_frame("denoise", image, cached=False)
+        if not np.array_equal(probe.output.data, reference.output.data):
+            raise AssertionError(
+                "gateway-fronted engine pixel output differs from the "
+                "single-process reference"
+            )
+        return ScenarioOutcome(
+            units=float(requests),
+            figures=(
+                ("fifo_misses", float(fifo_misses)),
+                ("fifo_miss_rate", fifo_schedule.deadline_miss_rate),
+                ("fifo_p99_s", fifo_p99),
+                ("gateway_misses", float(gateway_misses)),
+                ("gateway_miss_rate", stats.deadline_miss_rate),
+                ("gateway_p99_s", gateway_p99),
+                ("admitted", float(stats.admitted)),
+                ("degraded", float(stats.degraded)),
+                ("shed", float(stats.shed)),
+                ("served", float(stats.served)),
+            ),
+            extra=(
+                ("baseline_s", fifo_p99),
+                ("optimized_s", gateway_p99),
+                ("speedup", fifo_p99 / gateway_p99),
+            ),
+        )
+
+    return BenchScenario(
+        name="gateway_slo",
+        description=(
+            f"SLO gateway A/B under bursty overload: {requests} heavy-tailed "
+            f"requests at {rate_rps:g} rps on {instances} instances, FIFO "
+            "without admission control (baseline) vs SLOGateway + EDF on "
+            "identical capacity (optimized); gates on the gateway holding "
+            "p99 and missing at most half the deadlines FIFO misses, proves "
+            "exactly-once accounting of admitted work, counts every "
+            "degradation, and re-verifies non-degraded pixels bit-identical "
+            "to the single-process reference"
+        ),
+        backends=("ecnn",),
+        unit="requests",
+        run=run,
+        setup=setup,
+    )
+
+
 def _execute_frame_scenario(backend: str, size: int = 96):
     session = Session(backend=backend, cache=ResultCache())
     image = synthetic_image(size, size, seed=7)
@@ -778,6 +947,7 @@ def default_suite() -> BenchSuite:
         _cluster_scale_scenario(),
         _cluster_frames_scenario(),
         _soak_chaos_scenario(),
+        _gateway_slo_scenario(),
         _execute_frame_scenario("ecnn"),
         _execute_frame_scenario("frame_based"),
         _execute_frame_parallel_scenario(),

@@ -165,6 +165,13 @@ _rule(
     "and construct only seeded RNGs from it; unseeded randomness makes video "
     "parity sweeps and soak replays irreproducible.",
 )
+_rule(
+    "ECNN206", "deadline-plain-number", Severity.ERROR,
+    "Deadline and priority fields on boundary types (*Handle/*Request) must "
+    "be plain numbers annotated int/float with constant defaults; callables "
+    "or captured clocks in scheduling fields break EDF ordering, pickling "
+    "across cluster workers, and deterministic replay.",
+)
 
 
 @dataclass(frozen=True)

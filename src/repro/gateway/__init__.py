@@ -1,0 +1,48 @@
+"""SLO-aware admission gateway in front of the serving tier.
+
+The gateway (:class:`~repro.gateway.gateway.SLOGateway`) sits in front of a
+:class:`~repro.runtime.engine.ServingEngine` or
+:class:`~repro.runtime.cluster.ServingCluster` and turns best-effort FIFO
+serving into deadline-aware serving: every request is classified into an
+SLO class (:mod:`repro.gateway.slo`), carries an absolute deadline and a
+priority into the EDF scheduling policy, and is admitted only when a
+calibrated cost model says the owning shard can meet the deadline —
+otherwise the request is degraded (cheaper backend, fewer frames, or
+cache-only) or shed with a typed :class:`AdmissionRejected` carrying a
+retry-after hint.
+"""
+
+from repro.gateway.gateway import (
+    AdmissionRejected,
+    AdmissionTicket,
+    CostModel,
+    DegradeDecision,
+    FALLBACK_SHARD,
+    GatewayReport,
+    SLOGateway,
+)
+from repro.gateway.slo import (
+    DEFAULT_CLASS,
+    DEFAULT_SLO_CLASSES,
+    DEFAULT_WORKLOAD_SLO,
+    SLOClass,
+    resolve_slo,
+)
+from repro.gateway.stats import GatewayStats, LatencyHistogram
+
+__all__ = [
+    "AdmissionRejected",
+    "AdmissionTicket",
+    "CostModel",
+    "DEFAULT_CLASS",
+    "DEFAULT_SLO_CLASSES",
+    "DEFAULT_WORKLOAD_SLO",
+    "DegradeDecision",
+    "FALLBACK_SHARD",
+    "GatewayReport",
+    "GatewayStats",
+    "LatencyHistogram",
+    "SLOClass",
+    "SLOGateway",
+    "resolve_slo",
+]

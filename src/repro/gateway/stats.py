@@ -1,0 +1,99 @@
+"""Gateway counters and the O(1)-memory latency histogram.
+
+The histogram is log-binned (512 bins spanning 10 µs .. 10^5 s, the same
+resolution the soak harness uses): nearest-rank percentiles report a bin's
+upper edge, exact to ~4.6% relative error and fully deterministic, while
+memory stays constant no matter how many requests a run serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+#: Log-spaced bin edges shared by every latency histogram.
+LATENCY_EDGES = np.logspace(-5.0, 5.0, 513)
+
+
+class LatencyHistogram:
+    """Log-binned latency accumulator with nearest-rank percentiles."""
+
+    def __init__(self) -> None:
+        self._counts = np.zeros(len(LATENCY_EDGES) - 1, dtype=np.int64)
+
+    @property
+    def total(self) -> int:
+        return int(self._counts.sum())
+
+    def observe(self, latency_s: float) -> None:
+        bin_index = int(
+            np.clip(
+                np.searchsorted(LATENCY_EDGES, latency_s, side="right") - 1,
+                0,
+                len(LATENCY_EDGES) - 2,
+            )
+        )
+        self._counts[bin_index] += 1
+
+    def percentiles(
+        self, quantiles: Sequence[Tuple[str, float]] = (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+    ) -> Dict[str, float]:
+        """Nearest-rank percentiles as ``{label: upper bin edge}``.
+
+        Returns ``{}`` when nothing was observed.
+        """
+        total = self.total
+        if not total:
+            return {}
+        cumulative = np.cumsum(self._counts)
+        out: Dict[str, float] = {}
+        for label, q in quantiles:
+            if not 0.0 < q <= 1.0:
+                raise ValueError(f"quantile {q} outside (0, 1]")
+            rank = max(1, int(np.ceil(q * total)))
+            bin_index = int(np.searchsorted(cumulative, rank))
+            out[label] = float(LATENCY_EDGES[bin_index + 1])
+        return out
+
+
+@dataclass
+class GatewayStats:
+    """Mutable admission/serving counters of one :class:`SLOGateway`."""
+
+    #: Requests admitted un-degraded onto the primary target.
+    admitted: int = 0
+    #: Degraded admissions (any rung of the ladder), included in neither
+    #: ``admitted`` nor ``shed``.
+    degraded: int = 0
+    #: Requests rejected with :class:`AdmissionRejected`.
+    shed: int = 0
+    #: Requests whose serving record came back from a drain.
+    served: int = 0
+    deadline_requests: int = 0
+    deadline_misses: int = 0
+    #: Degraded admissions per ladder action name.
+    by_action: Dict[str, int] = field(default_factory=dict)
+    #: Admissions (including degraded) per SLO class name.
+    by_class: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        carrying = self.deadline_requests
+        return self.deadline_misses / carrying if carrying else 0.0
+
+    def snapshot(self) -> "GatewayStats":
+        return GatewayStats(
+            admitted=self.admitted,
+            degraded=self.degraded,
+            shed=self.shed,
+            served=self.served,
+            deadline_requests=self.deadline_requests,
+            deadline_misses=self.deadline_misses,
+            by_action=dict(self.by_action),
+            by_class=dict(self.by_class),
+        )
+
+
+__all__ = ["GatewayStats", "LatencyHistogram", "LATENCY_EDGES"]

@@ -52,6 +52,7 @@ from repro.runtime.cluster import (
 )
 from repro.runtime.engine import ServingEngine, ServingReport, WorkloadAnalytics
 from repro.runtime.scheduler import (
+    POLICIES,
     Batch,
     InferenceRequest,
     QueueFull,
@@ -61,6 +62,7 @@ from repro.runtime.scheduler import (
     Scheduler,
     StreamStats,
     form_batches,
+    policy_key,
 )
 from repro.runtime.sweep import ParallelSweep
 from repro.runtime.trace import TRACES, TraceEvent, TrafficTrace, trace
@@ -80,6 +82,7 @@ from repro.runtime.workloads import (
 
 __all__ = [
     "Batch",
+    "POLICIES",
     "CacheStats",
     "ClusterBackpressure",
     "ClusterError",
@@ -90,6 +93,7 @@ __all__ = [
     "InferenceRequest",
     "ParallelSweep",
     "QueueFull",
+    "policy_key",
     "RESIDUAL_HISTOGRAM_EDGES",
     "RequestQueue",
     "RequestRecord",

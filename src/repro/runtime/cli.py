@@ -21,6 +21,7 @@ from repro.analysis.report import format_table
 from repro.api import available_backends, describe_backends
 from repro.runtime.cluster import ServingCluster
 from repro.runtime.engine import ServingEngine
+from repro.runtime.scheduler import POLICIES
 from repro.runtime.trace import TRACES, trace
 
 
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "process", "inline"),
         help="with --workers: worker processes, in-process shards, or "
         "processes with inline fallback (default: auto)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="fifo",
+        choices=POLICIES,
+        help="queue/scheduler ordering: fifo (default) or edf "
+        "(earliest-deadline-first, used by the SLO gateway)",
     )
     parser.add_argument(
         "--analyze",
@@ -142,6 +150,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             instances_per_worker=args.instances,
             max_batch_frames=args.batch_frames,
             mode=args.cluster_mode,
+            policy=args.policy,
         ) as cluster:
             print(f"backend {cluster.backend_name!r}, "
                   f"{args.workers} worker shard(s) ({cluster.mode})")
@@ -169,6 +178,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         num_instances=args.instances,
         max_batch_frames=args.batch_frames,
         backend=args.backend,
+        policy=args.policy,
     )
     print(f"backend {engine.backend_name!r}")
     print(f"trace {selected.name!r}: {selected.description}")

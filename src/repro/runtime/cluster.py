@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import math
 import queue as queue_module
 import time
 from dataclasses import dataclass
@@ -71,7 +72,7 @@ from repro.hw.config import DEFAULT_CONFIG, EcnnConfig
 from repro.nn.tensor import FeatureMap
 from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.engine import ServingEngine, ServingReport
-from repro.runtime.scheduler import QueueFull, RequestQueue
+from repro.runtime.scheduler import QueueFull, RequestQueue, policy_key
 from repro.runtime.trace import TrafficTrace
 from repro.runtime.video import StreamFrameResult, VideoStreamStats
 from repro.runtime.workloads import WorkloadProfile
@@ -132,12 +133,14 @@ class _WorkerState:
         instances: int,
         max_batch_frames: int,
         warm_plans: Tuple[PlanHandle, ...],
+        policy: str = "fifo",
     ) -> None:
         self.session = handle.create()
         self.engine = ServingEngine(
             num_instances=instances,
             max_batch_frames=max_batch_frames,
             backend=self.session,
+            policy=policy,
         )
         # Warm the per-worker hot path: serving profiles for the whole
         # catalogue (what the scheduler charges) and compiled plans for the
@@ -153,9 +156,14 @@ class _WorkerState:
 def _execute_command(state: _WorkerState, command: str, payload: Any) -> Any:
     """The one dispatch table shared by process workers and inline shards."""
     if command == "run":
-        for stream_id, workload_name, frames, arrival_s in payload:
+        for stream_id, workload_name, frames, arrival_s, deadline_s, priority in payload:
             state.engine.submit(
-                stream_id, workload_name, frames=frames, arrival_s=arrival_s
+                stream_id,
+                workload_name,
+                frames=frames,
+                arrival_s=arrival_s,
+                deadline_s=deadline_s,
+                priority=priority,
             )
         return state.engine.run()
     if command == "execute_frame":
@@ -203,12 +211,13 @@ def _worker_main(
     instances: int,
     max_batch_frames: int,
     warm_plans: Tuple[PlanHandle, ...],
+    policy: str,
     task_queue: Any,
     result_queue: Any,
 ) -> None:
     """Worker process entry point: build state, ack, serve the command loop."""
     try:
-        state = _WorkerState(handle, instances, max_batch_frames, warm_plans)
+        state = _WorkerState(handle, instances, max_batch_frames, warm_plans, policy)
     except Exception as exc:  # startup failed: report instead of dying silently
         result_queue.put((_READY, False, _describe_error(exc)))
         return
@@ -236,11 +245,12 @@ class _InlineShard:
         max_batch_frames: int,
         warm_plans: Tuple[PlanHandle, ...],
         max_pending: Optional[int],
+        policy: str = "fifo",
     ) -> None:
         self.index = index
         self.alive = True
-        self.queue = RequestQueue(max_pending=max_pending)
-        self._state = _WorkerState(handle, instances, max_batch_frames, warm_plans)
+        self.queue = RequestQueue(max_pending=max_pending, policy=policy)
+        self._state = _WorkerState(handle, instances, max_batch_frames, warm_plans, policy)
         self._results: Dict[int, Tuple[bool, Any]] = {}
         self._next_id = 0
 
@@ -285,16 +295,18 @@ class _ProcessShard:
         max_batch_frames: int,
         warm_plans: Tuple[PlanHandle, ...],
         max_pending: Optional[int],
+        policy: str = "fifo",
     ) -> None:
         self.index = index
         self.alive = True
-        self.queue = RequestQueue(max_pending=max_pending)
+        self.queue = RequestQueue(max_pending=max_pending, policy=policy)
         self._tasks = context.Queue()
         self._results = context.Queue()
         self._next_id = 0
         self._process = context.Process(
             target=_worker_main,
-            args=(handle, instances, max_batch_frames, warm_plans, self._tasks, self._results),
+            args=(handle, instances, max_batch_frames, warm_plans, policy,
+                  self._tasks, self._results),
             daemon=True,
             name=f"repro-cluster-shard-{index}",
         )
@@ -376,6 +388,11 @@ class ShardStats:
     streams: Tuple[str, ...]
     served_requests: int
     served_frames: int
+    #: Deadline-carrying requests served by this shard, and how many of
+    #: them completed after their deadline (both 0 when no request carried
+    #: a deadline — the historical FIFO paths).
+    deadline_requests: int = 0
+    deadline_misses: int = 0
     #: The worker session's analytic cache counters (``None`` for a dead shard).
     cache: Optional[CacheStats] = None
     #: The worker session's pixel frame-cache counters (``None`` for a dead shard).
@@ -416,13 +433,33 @@ class ClusterStats:
     def total_served_frames(self) -> int:
         return sum(shard.served_frames for shard in self.shards)
 
+    @property
+    def total_deadline_requests(self) -> int:
+        return sum(shard.deadline_requests for shard in self.shards)
+
+    @property
+    def total_deadline_misses(self) -> int:
+        return sum(shard.deadline_misses for shard in self.shards)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Misses over deadline-carrying requests (0.0 when none carried one)."""
+        carrying = self.total_deadline_requests
+        return self.total_deadline_misses / carrying if carrying else 0.0
+
     def describe(self) -> str:
-        return (
+        described = (
             f"{self.live_workers}/{self.workers} workers live ({self.mode}), "
             f"{self.total_queue_depth} queued, "
             f"{self.total_served_frames} frames served, "
             f"{self.requeued} requeued"
         )
+        if self.total_deadline_requests:
+            described += (
+                f", {self.total_deadline_misses}/{self.total_deadline_requests} "
+                f"deadlines missed"
+            )
+        return described
 
 
 @dataclass(frozen=True)
@@ -456,6 +493,19 @@ class ClusterReport:
     def throughput_fps(self) -> float:
         makespan = self.makespan_s
         return self.total_frames / makespan if makespan else 0.0
+
+    @property
+    def deadline_requests(self) -> int:
+        return sum(r.schedule.deadline_requests for _, r in self.shard_reports)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(r.schedule.deadline_misses for _, r in self.shard_reports)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        carrying = self.deadline_requests
+        return self.deadline_misses / carrying if carrying else 0.0
 
     def render(self) -> str:
         """The CLI's per-shard throughput report."""
@@ -517,6 +567,10 @@ class ServingCluster:
         ``"process"`` (require worker processes), ``"inline"`` (in-process
         shards, no parallelism — tests and constrained sandboxes), or
         ``"auto"`` (processes when the platform allows, inline fallback).
+    policy:
+        Queue/scheduler ordering inside every shard — ``"fifo"`` (default,
+        bit-identical to the historical cluster) or ``"edf"`` for the SLO
+        gateway's deadline-aware serving.
     start_timeout_s / call_timeout_s:
         How long to wait for worker startup acks / command replies before
         declaring a shard dead.
@@ -540,6 +594,7 @@ class ServingCluster:
         warm_plans: Sequence[PlanHandle] = (),
         frame_cache_entries: Optional[int] = 64,
         mode: str = "auto",
+        policy: str = "fifo",
         start_timeout_s: float = 120.0,
         call_timeout_s: float = 600.0,
         fault_hook: Optional[Callable[["ServingCluster", str], None]] = None,
@@ -550,6 +605,7 @@ class ServingCluster:
             raise ValueError("instances_per_worker must be positive")
         if mode not in ("auto", "process", "inline"):
             raise ValueError(f"unknown cluster mode {mode!r}")
+        policy_key(policy)  # validate eagerly
         if isinstance(backend, Session):
             self.session = backend
             self._handle = backend.handle()
@@ -565,10 +621,13 @@ class ServingCluster:
         self.instances_per_worker = instances_per_worker
         self.max_batch_frames = max_batch_frames
         self.max_pending = max_pending
+        self.policy = policy
         self.call_timeout_s = call_timeout_s
         self.fault_hook = fault_hook
         self.requeued = 0
         self._closed = False
+        self._deadline_misses: Dict[int, int] = {}
+        self._deadline_requests: Dict[int, int] = {}
         self._stream_shard: Dict[str, int] = {}
         #: Live-stream count per shard index, maintained incrementally so
         #: balanced routing stays O(workers) per placement even with
@@ -608,6 +667,7 @@ class ServingCluster:
                     max_batch_frames,
                     warm,
                     max_pending,
+                    policy,
                 )
                 for index in range(workers)
             ]
@@ -631,6 +691,7 @@ class ServingCluster:
                 self.max_batch_frames,
                 warm,
                 self.max_pending,
+                self.policy,
             )
             for index in range(self.workers)
         ]
@@ -803,10 +864,10 @@ class ServingCluster:
         self._check_open()
         live = self._live_shards()
         target = "inline" if self.mode == "process" else "process"
-        held: List[Tuple[str, str, int, float]] = []
+        held: List[Tuple[str, str, int, float, float, int]] = []
         for shard in live:
             held.extend(
-                (r.stream_id, r.workload, r.frames, r.arrival_s)
+                (r.stream_id, r.workload, r.frames, r.arrival_s, r.deadline_s, r.priority)
                 for r in shard.queue.drain()
             )
         replacements: Dict[int, Any] = {}
@@ -827,6 +888,7 @@ class ServingCluster:
                         self.max_batch_frames,
                         self._warm,
                         self.max_pending,
+                        self.policy,
                     )
                 for replacement in replacements.values():
                     replacement.wait_ready(self._start_timeout_s)
@@ -839,6 +901,7 @@ class ServingCluster:
                         self.max_batch_frames,
                         self._warm,
                         self.max_pending,
+                        self.policy,
                     )
         except (_ShardFailure, OSError, ValueError, ImportError):
             for replacement in replacements.values():
@@ -853,7 +916,7 @@ class ServingCluster:
             ]
             self.mode = target
             self._saturated.clear()  # fresh queues carry the default bound
-        for stream_id, workload_name, frames, arrival_s in held:
+        for stream_id, workload_name, frames, arrival_s, deadline_s, priority in held:
             # Sticky owners survived the flip (same indices are alive) and
             # rebuilt queues carry the default bound; if the flip was a
             # no-op a saturated clamp may still be in force — widen it
@@ -861,12 +924,22 @@ class ServingCluster:
             shard = self._route_stream(stream_id)
             try:
                 shard.queue.submit(
-                    stream_id, workload_name, frames=frames, arrival_s=arrival_s
+                    stream_id,
+                    workload_name,
+                    frames=frames,
+                    arrival_s=arrival_s,
+                    deadline_s=deadline_s,
+                    priority=priority,
                 )
             except QueueFull:
                 shard.queue.set_bound(len(shard.queue) + 1)
                 shard.queue.submit(
-                    stream_id, workload_name, frames=frames, arrival_s=arrival_s
+                    stream_id,
+                    workload_name,
+                    frames=frames,
+                    arrival_s=arrival_s,
+                    deadline_s=deadline_s,
+                    priority=priority,
                 )
         return self.mode
 
@@ -894,7 +967,14 @@ class ServingCluster:
 
     # ------------------------------------------------------------- admission
     def submit(
-        self, stream_id: str, workload_name: str, *, frames: int = 1, arrival_s: float = 0.0
+        self,
+        stream_id: str,
+        workload_name: str,
+        *,
+        frames: int = 1,
+        arrival_s: float = 0.0,
+        deadline_s: float = math.inf,
+        priority: int = 0,
     ) -> int:
         """Admit one request; returns the owning shard's index.
 
@@ -905,7 +985,14 @@ class ServingCluster:
         self.session.workload(workload_name)  # validate at the coordinator
         shard = self._route_stream(stream_id)
         try:
-            shard.queue.submit(stream_id, workload_name, frames=frames, arrival_s=arrival_s)
+            shard.queue.submit(
+                stream_id,
+                workload_name,
+                frames=frames,
+                arrival_s=arrival_s,
+                deadline_s=deadline_s,
+                priority=priority,
+            )
         except QueueFull as exc:
             raise ClusterBackpressure(
                 f"shard {shard.index} is at capacity "
@@ -928,6 +1015,16 @@ class ServingCluster:
         """Pending (undrained) request count per shard index."""
         return {shard.index: len(shard.queue) for shard in self._shards}
 
+    def route_stream(self, stream_id: str) -> int:
+        """The shard index that would own ``stream_id``'s next request.
+
+        Resolves (and pins) the stream's sticky placement without
+        submitting anything — the SLO gateway asks this before deciding
+        whether the owning shard can meet a deadline.
+        """
+        self._check_open()
+        return self._route_stream(stream_id).index
+
     # --------------------------------------------------------------- serving
     def run(self) -> ClusterReport:
         """Drain every shard's queue through its worker engine and aggregate.
@@ -944,7 +1041,7 @@ class ServingCluster:
         # double-kill moves it twice but displaces it once).
         tokens = itertools.count()
         counted: Set[int] = set()
-        _Item = Tuple[str, str, int, float]
+        _Item = Tuple[str, str, int, float, float, int]
         _Tagged = Tuple[int, _Item]
 
         def displace(tagged: Sequence[_Tagged]) -> None:
@@ -959,7 +1056,11 @@ class ServingCluster:
             if not len(shard.queue):
                 continue
             drained = tuple(
-                (next(tokens), (r.stream_id, r.workload, r.frames, r.arrival_s))
+                (
+                    next(tokens),
+                    (r.stream_id, r.workload, r.frames, r.arrival_s,
+                     r.deadline_s, r.priority),
+                )
                 for r in shard.queue.drain()
             )
             if shard.alive:
@@ -1005,6 +1106,14 @@ class ServingCluster:
                 self._served_frames[shard.index] = (
                     self._served_frames.get(shard.index, 0)
                     + sum(item[2] for _, item in tagged)
+                )
+                self._deadline_misses[shard.index] = (
+                    self._deadline_misses.get(shard.index, 0)
+                    + report.schedule.deadline_misses
+                )
+                self._deadline_requests[shard.index] = (
+                    self._deadline_requests.get(shard.index, 0)
+                    + report.schedule.deadline_requests
                 )
             if failed:
                 # Re-route every failed request through the (now smaller)
@@ -1206,6 +1315,8 @@ class ServingCluster:
                     ),
                     served_requests=self._served_requests.get(shard.index, 0),
                     served_frames=self._served_frames.get(shard.index, 0),
+                    deadline_requests=self._deadline_requests.get(shard.index, 0),
+                    deadline_misses=self._deadline_misses.get(shard.index, 0),
                     cache=snapshot.cache if snapshot else None,
                     frame_cache=snapshot.frame_cache if snapshot else None,
                     video_streams=snapshot.video_streams if snapshot else (),

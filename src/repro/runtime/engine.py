@@ -28,6 +28,7 @@ content-addressed frame cache.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -127,6 +128,16 @@ class ServingReport:
             f"aggregate {schedule.throughput_fps:.1f} fps\n"
             f"analytic cache: {self.cache.describe()}"
         )
+        percentiles = schedule.latency_percentiles()
+        if percentiles:
+            summary += "\nlatency " + " ".join(
+                f"p{int(q * 100)} {value * 1e3:.2f} ms" for q, value in percentiles.items()
+            )
+        if schedule.deadline_requests:
+            summary += (
+                f"\ndeadlines: {schedule.deadline_misses}/{schedule.deadline_requests} "
+                f"missed ({schedule.deadline_miss_rate:.1%})"
+            )
         if self.frame_cache is not None and self.frame_cache.lookups:
             summary += f"\nframe cache: {self.frame_cache.describe()}"
         for stream_stats in self.video_streams:
@@ -151,6 +162,9 @@ class ServingEngine:
     backend:
         Accelerator backend name (default ``"ecnn"``), or a pre-built
         :class:`repro.api.Session` whose backend/cache/config take precedence.
+    policy:
+        Queue/scheduler ordering — ``"fifo"`` (default, bit-identical to
+        the historical engine) or ``"edf"`` for deadline-aware serving.
     """
 
     def __init__(
@@ -161,6 +175,7 @@ class ServingEngine:
         config: EcnnConfig = DEFAULT_CONFIG,
         cache: Optional[ResultCache] = None,
         backend: Union[str, Session] = "ecnn",
+        policy: str = "fifo",
     ) -> None:
         if isinstance(backend, Session):
             self.session = backend
@@ -168,11 +183,13 @@ class ServingEngine:
             self.session = Session(backend=backend, config=config, cache=cache)
         self.config = self.session.config
         self.cache = self.session.cache
-        self.queue = RequestQueue()
+        self.policy = policy
+        self.queue = RequestQueue(policy=policy)
         self.scheduler = Scheduler(
             self.profile,
             num_instances=num_instances,
             max_batch_frames=max_batch_frames,
+            policy=policy,
         )
 
     @property
@@ -191,11 +208,25 @@ class ServingEngine:
 
     # ------------------------------------------------------------------ admission
     def submit(
-        self, stream_id: str, workload_name: str, *, frames: int = 1, arrival_s: float = 0.0
+        self,
+        stream_id: str,
+        workload_name: str,
+        *,
+        frames: int = 1,
+        arrival_s: float = 0.0,
+        deadline_s: float = math.inf,
+        priority: int = 0,
     ) -> None:
         """Admit one request (validates the workload name)."""
         self.session.workload(workload_name)
-        self.queue.submit(stream_id, workload_name, frames=frames, arrival_s=arrival_s)
+        self.queue.submit(
+            stream_id,
+            workload_name,
+            frames=frames,
+            arrival_s=arrival_s,
+            deadline_s=deadline_s,
+            priority=priority,
+        )
 
     def play(self, trace: TrafficTrace) -> int:
         """Replay a traffic trace into the queue; returns requests admitted."""

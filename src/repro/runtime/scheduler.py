@@ -9,10 +9,11 @@ processors.  Time is analytic: a frame occupies an instance for the
 workload's :attr:`~repro.runtime.workloads.WorkloadProfile.frame_latency_s`
 and switching workloads charges the profile's parameter-load time.
 
-Everything is deterministic: requests order by (arrival, sequence number),
-batches form greedily in that order, and instance ties break by index — the
-same trace always produces the same schedule, which is what the regression
-tests pin.
+Everything is deterministic: requests order by the queue's scheduling
+policy (FIFO by default: (arrival, sequence number); EDF: (deadline,
+priority, arrival, sequence number)), batches form greedily in that order,
+and instance ties break by index — the same trace always produces the same
+schedule, which is what the regression tests pin.
 """
 
 from __future__ import annotations
@@ -26,22 +27,55 @@ from repro.runtime.workloads import WorkloadProfile
 #: Source of per-workload profiles: a mapping or a ``name -> profile`` callable.
 ProfileSource = Union[Mapping[str, WorkloadProfile], Callable[[str], WorkloadProfile]]
 
+#: Drain/batch orderings understood by :class:`RequestQueue` and
+#: :class:`Scheduler`.  ``fifo`` is the historical (arrival, seq) order and
+#: stays the bit-identical default; ``edf`` is earliest-deadline-first with
+#: priority tie-break, used by the SLO gateway.
+POLICIES: Tuple[str, ...] = ("fifo", "edf")
+
+
+def policy_key(policy: str) -> Callable[["InferenceRequest"], Tuple]:
+    """Sort key implementing a scheduling policy over requests."""
+    if policy == "fifo":
+        return lambda r: (r.arrival_s, r.seq)
+    if policy == "edf":
+        # Earlier absolute deadline first; among equal deadlines a higher
+        # priority wins; FIFO order breaks the remaining ties so the
+        # schedule stays a pure function of the trace.
+        return lambda r: (r.deadline_s, -r.priority, r.arrival_s, r.seq)
+    raise ValueError(f"unknown scheduling policy {policy!r}; expected one of {POLICIES}")
+
 
 @dataclass(frozen=True)
 class InferenceRequest:
-    """One serving request: ``frames`` frames of ``workload`` on a stream."""
+    """One serving request: ``frames`` frames of ``workload`` on a stream.
+
+    ``deadline_s`` is an *absolute* completion deadline on the same
+    simulated clock as ``arrival_s`` (``math.inf`` means "no deadline");
+    ``priority`` breaks ties between equal deadlines under the EDF policy.
+    Both are plain numbers so requests stay picklable across the cluster's
+    process boundary (lint rule ECNN206).
+    """
 
     seq: int
     stream_id: str
     workload: str
     frames: int
     arrival_s: float
+    deadline_s: float = math.inf
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.frames < 1:
             raise ValueError("a request must ask for at least one frame")
         if self.arrival_s < 0:
             raise ValueError("arrival time cannot be negative")
+        if math.isnan(self.deadline_s):
+            raise ValueError("deadline cannot be NaN (use math.inf for none)")
+
+    @property
+    def has_deadline(self) -> bool:
+        return math.isfinite(self.deadline_s)
 
 
 class QueueFull(RuntimeError):
@@ -53,7 +87,7 @@ class QueueFull(RuntimeError):
 
 
 class RequestQueue:
-    """FIFO admission queue assigning globally-ordered sequence numbers.
+    """Admission queue assigning globally-ordered sequence numbers.
 
     Parameters
     ----------
@@ -63,12 +97,20 @@ class RequestQueue:
         accepting the request — the backpressure signal the cluster's
         per-shard queues rely on.  Unbounded by default (the single-process
         engine drains synchronously, so depth is naturally limited).
+    policy:
+        Drain ordering — ``"fifo"`` (default, bit-identical to the
+        historical queue) or ``"edf"`` (earliest absolute deadline first,
+        priority tie-break).
     """
 
-    def __init__(self, max_pending: Optional[int] = None) -> None:
+    def __init__(
+        self, max_pending: Optional[int] = None, *, policy: str = "fifo"
+    ) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be positive (or None for unbounded)")
         self.max_pending = max_pending
+        self.policy = policy
+        self._key = policy_key(policy)
         self._pending: List[InferenceRequest] = []
         self._next_seq = 0
 
@@ -88,7 +130,14 @@ class RequestQueue:
         self.max_pending = max_pending
 
     def submit(
-        self, stream_id: str, workload: str, *, frames: int = 1, arrival_s: float = 0.0
+        self,
+        stream_id: str,
+        workload: str,
+        *,
+        frames: int = 1,
+        arrival_s: float = 0.0,
+        deadline_s: float = math.inf,
+        priority: int = 0,
     ) -> InferenceRequest:
         """Admit a request; returns the queued record.
 
@@ -106,14 +155,16 @@ class RequestQueue:
             workload=workload,
             frames=frames,
             arrival_s=arrival_s,
+            deadline_s=deadline_s,
+            priority=priority,
         )
         self._next_seq += 1
         self._pending.append(request)
         return request
 
     def drain(self) -> List[InferenceRequest]:
-        """Remove and return all pending requests in (arrival, seq) order."""
-        requests = sorted(self._pending, key=lambda r: (r.arrival_s, r.seq))
+        """Remove and return all pending requests in policy order."""
+        requests = sorted(self._pending, key=self._key)
         self._pending.clear()
         return requests
 
@@ -136,25 +187,30 @@ class Batch:
 
 
 def form_batches(
-    requests: Sequence[InferenceRequest], *, max_batch_frames: int = 8
+    requests: Sequence[InferenceRequest],
+    *,
+    max_batch_frames: int = 8,
+    policy: str = "fifo",
 ) -> List[Batch]:
     """Group ordered requests into per-workload batches.
 
-    Requests are visited in (arrival, seq) order; each joins the open batch
-    of its workload unless that would exceed ``max_batch_frames``, in which
-    case the open batch is sealed and a new one starts.  Batches are emitted
-    ordered by their first member's (arrival, seq), so batch order is a pure
-    function of the request order.
+    Requests are visited in policy order (FIFO: (arrival, seq); EDF:
+    (deadline, -priority, arrival, seq)); each joins the open batch of its
+    workload unless that would exceed ``max_batch_frames``, in which case
+    the open batch is sealed and a new one starts.  Batches are emitted
+    ordered by their first member's policy key, so batch order is a pure
+    function of the request set and the policy.
     """
     if max_batch_frames < 1:
         raise ValueError("max_batch_frames must be positive")
-    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.seq))
-    sealed: List[Tuple[Tuple[float, int], Batch]] = []
+    key = policy_key(policy)
+    ordered = sorted(requests, key=key)
+    sealed: List[Tuple[Tuple, Batch]] = []
     open_batches: Dict[str, List[InferenceRequest]] = {}
 
     def seal(members: List[InferenceRequest]) -> None:
         first = members[0]
-        sealed.append(((first.arrival_s, first.seq), Batch(first.workload, tuple(members))))
+        sealed.append((key(first), Batch(first.workload, tuple(members))))
 
     for request in ordered:
         members = open_batches.get(request.workload)
@@ -186,6 +242,18 @@ class RequestRecord:
     def latency_s(self) -> float:
         """Arrival-to-last-frame latency."""
         return self.completion_s - self.request.arrival_s
+
+    @property
+    def missed_deadline(self) -> bool:
+        """True when the request carried a deadline and completed after it."""
+        return self.request.has_deadline and self.completion_s > self.request.deadline_s
+
+    @property
+    def lateness_s(self) -> float:
+        """Completion minus deadline (negative = early); 0 for no deadline."""
+        if not self.request.has_deadline:
+            return 0.0
+        return self.completion_s - self.request.deadline_s
 
 
 @dataclass(frozen=True)
@@ -244,19 +312,44 @@ class ScheduleResult:
         """Nearest-rank latency percentiles over the served requests.
 
         Exact (no interpolation) and therefore deterministic: quantile
-        ``q`` maps to the ``ceil(q * n)``-th smallest latency.  Returns
-        ``{}`` when nothing was served.
+        ``q`` maps to the ``ceil(q * n)``-th smallest latency — for a
+        single record every quantile returns that record's latency.
+        Returns ``{}`` when nothing was served; invalid quantiles raise
+        regardless of whether anything was served.
         """
+        for q in quantiles:
+            if not 0.0 < q <= 1.0:
+                raise ValueError(f"quantile {q} outside (0, 1]")
         latencies = sorted(record.latency_s for record in self.records)
         if not latencies:
             return {}
         result: Dict[float, float] = {}
         for q in quantiles:
-            if not 0.0 < q <= 1.0:
-                raise ValueError(f"quantile {q} outside (0, 1]")
             rank = max(1, math.ceil(q * len(latencies)))
             result[q] = latencies[rank - 1]
         return result
+
+    @property
+    def deadline_requests(self) -> int:
+        """Served requests that carried a finite deadline."""
+        return sum(1 for record in self.records if record.request.has_deadline)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Served requests that completed after their deadline."""
+        return sum(1 for record in self.records if record.missed_deadline)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Misses over deadline-carrying requests (0.0 when none carried one)."""
+        carrying = self.deadline_requests
+        return self.deadline_misses / carrying if carrying else 0.0
+
+    @property
+    def max_lateness_s(self) -> float:
+        """Worst completion-minus-deadline over deadline-carrying requests."""
+        latenesses = [r.lateness_s for r in self.records if r.request.has_deadline]
+        return max(latenesses, default=0.0)
 
     def stream_stats(self) -> Dict[str, StreamStats]:
         """Per-stream FPS/latency, keyed by stream id (sorted iteration order)."""
@@ -303,6 +396,9 @@ class Scheduler:
     max_batch_frames:
         Frame budget per batch; bounds how long one stream can monopolize an
         instance before others get a turn.
+    policy:
+        Batch-formation ordering — ``"fifo"`` (default, bit-identical to
+        the historical scheduler) or ``"edf"``.
     """
 
     def __init__(
@@ -311,18 +407,23 @@ class Scheduler:
         *,
         num_instances: int = 1,
         max_batch_frames: int = 8,
+        policy: str = "fifo",
     ) -> None:
         if num_instances < 1:
             raise ValueError("need at least one instance")
+        policy_key(policy)  # validate eagerly
         self._profile_for: Callable[[str], WorkloadProfile] = (
             profiles.__getitem__ if isinstance(profiles, Mapping) else profiles
         )
         self.num_instances = num_instances
         self.max_batch_frames = max_batch_frames
+        self.policy = policy
 
     def run(self, requests: Sequence[InferenceRequest]) -> ScheduleResult:
         """Schedule ``requests`` and return the full timing record."""
-        batches = form_batches(requests, max_batch_frames=self.max_batch_frames)
+        batches = form_batches(
+            requests, max_batch_frames=self.max_batch_frames, policy=self.policy
+        )
         instances = [_Instance(index) for index in range(self.num_instances)]
         records: List[RequestRecord] = []
         for batch in batches:

@@ -1,10 +1,10 @@
 """Chaos schedules: when to hurt the cluster, and the record of doing so.
 
 A chaos schedule is a list of :class:`ChaosEvent` — *what* to inject
-(taxonomy below) and *when*, as a fraction of the soak's total admissions
-(``kill-worker@50%`` fires once half the requests have been admitted).
+(taxonomy below) and *when*, as a fraction of the soak's trace length
+(``kill-worker@50%`` fires once half the requests have been replayed).
 The :class:`ChaosController` owns the schedule during a run: the harness
-calls :meth:`ChaosController.advance` with the running admission count and
+calls :meth:`ChaosController.advance` with the running replay count and
 the controller fires every event whose threshold has been crossed, through
 the fault-injection primitives on
 :class:`~repro.runtime.cluster.ServingCluster`.
@@ -23,9 +23,9 @@ Event taxonomy (``ChaosEvent.kind``):
 * ``evict-frame-cache`` — drop every worker's pixel frame cache (cold
   restart of the pixel path).
 
-Determinism: events fire at admission *counts*, never at wall-clock
-times, and victims are chosen by the primitives' deterministic rules — so
-a seeded soak run applies byte-identical chaos every time.
+Determinism: events fire at replay *counts*, never at wall-clock times,
+and victims are chosen by the primitives' deterministic rules — so a
+seeded soak run applies byte-identical chaos every time.
 """
 
 from __future__ import annotations
@@ -52,7 +52,7 @@ class ChaosSpecError(ValueError):
 
 @dataclass(frozen=True)
 class ChaosEvent:
-    """One scheduled injection: ``kind`` at ``at_fraction`` of admissions."""
+    """One scheduled injection: ``kind`` at ``at_fraction`` of the trace."""
 
     kind: str
     at_fraction: float
@@ -97,7 +97,7 @@ class AppliedChaos:
     """What one scheduled event actually did during the run."""
 
     event: ChaosEvent
-    #: Admission count at which the controller fired the event.
+    #: Progress count (requests replayed) at which the event fired.
     fired_at: int
     #: False when the event was skipped (e.g. killing the last live shard).
     applied: bool
@@ -131,7 +131,7 @@ def random_schedule(
 
 @dataclass
 class ChaosController:
-    """Fires a chaos schedule against a cluster as admissions progress."""
+    """Fires a chaos schedule against a cluster as the replay progresses."""
 
     cluster: ServingCluster
     schedule: Sequence[ChaosEvent]
@@ -149,32 +149,37 @@ class ChaosController:
         """Events not yet fired."""
         return len(self.schedule) - self._next
 
-    def advance(self, admitted: int) -> List[AppliedChaos]:
-        """Fire every event whose admission threshold has been crossed."""
+    def advance(self, progress: int) -> List[AppliedChaos]:
+        """Fire every event whose progress threshold has been crossed.
+
+        ``progress`` counts requests *replayed*, not admitted — under the
+        SLO gateway most of an overload trace is shed or degraded without
+        ever being admitted, and chaos must still fire mid-burst.
+        """
         fired: List[AppliedChaos] = []
         while self._next < len(self.schedule):
             event = self.schedule[self._next]
-            if admitted < event.at_fraction * self.total_requests:
+            if progress < event.at_fraction * self.total_requests:
                 break
             self._next += 1
-            fired.append(self._apply(event, admitted))
+            fired.append(self._apply(event, progress))
         self.applied.extend(fired)
         return fired
 
-    def _apply(self, event: ChaosEvent, admitted: int) -> AppliedChaos:
+    def _apply(self, event: ChaosEvent, progress: int) -> AppliedChaos:
         cluster = self.cluster
         if event.kind == "kill-worker":
             live = cluster.live_shard_indices()
             if len(live) <= 1:
                 return AppliedChaos(
-                    event, admitted, applied=False,
+                    event, progress, applied=False,
                     detail="skipped: last live shard",
                 )
             victim_index = event.shard if event.shard in live else None
             depth_before = cluster.queue_depths()
             victim = cluster.kill_worker(victim_index)
             return AppliedChaos(
-                event, admitted, applied=True, victim=victim,
+                event, progress, applied=True, victim=victim,
                 displaced_hint=depth_before.get(victim, 0),
                 detail=f"killed shard {victim}",
             )
@@ -184,20 +189,20 @@ class ChaosController:
             )
             victim = cluster.saturate_shard(victim_index)
             return AppliedChaos(
-                event, admitted, applied=True, victim=victim,
+                event, progress, applied=True, victim=victim,
                 detail=f"saturated shard {victim}",
             )
         if event.kind == "flip-mode":
             before = cluster.mode
             after = cluster.flip_mode()
             return AppliedChaos(
-                event, admitted, applied=after != before,
+                event, progress, applied=after != before,
                 detail=f"mode {before} -> {after}",
             )
         if event.kind == "evict-frame-cache":
             dropped = cluster.evict_frame_caches()
             return AppliedChaos(
-                event, admitted, applied=True,
+                event, progress, applied=True,
                 detail=f"evicted {dropped} frame-cache entries",
             )
         raise ChaosSpecError(f"unknown chaos kind {event.kind!r}")  # unreachable

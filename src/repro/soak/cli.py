@@ -57,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker mode (default auto: processes with inline fallback)",
     )
     parser.add_argument("--backend", default="ecnn", help="accelerator backend (default ecnn)")
+    parser.add_argument(
+        "--gateway",
+        action="store_true",
+        help="serve through the SLO gateway: EDF scheduling, per-class "
+        "deadlines, admission control with graceful degradation",
+    )
+    parser.add_argument(
+        "--submit-retries",
+        type=int,
+        default=4,
+        help="bounded-backoff retries per backpressured submit (default 4)",
+    )
     parser.add_argument("--output", default=None, help="write the SoakReport JSON here")
     return parser
 
@@ -79,6 +91,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         cluster_mode=args.cluster_mode,
         chaos=schedule,
+        gateway=args.gateway,
+        submit_retries=args.submit_retries,
     )
     try:
         report = run_soak(config)

@@ -19,7 +19,17 @@ negative residue a *duplicated* one — either raises
 :class:`SoakIntegrityError`.  The ledger only holds in-flight keys
 (entries are deleted at zero), so memory stays O(window), not O(requests).
 
-The emitted :class:`SoakReport` (JSON schema ``repro-soak/1``, validated
+Admission either goes straight to the cluster (historical path) or, with
+``SoakConfig.gateway``, through an SLO gateway
+(:class:`~repro.gateway.SLOGateway`) fronting an EDF-policy cluster:
+requests carry per-class deadlines, overload is shed or gracefully
+degraded, and the report gains deadline/degradation counters.  Either way
+a :class:`~repro.runtime.cluster.ClusterBackpressure` no longer fails the
+window outright: the submit loop retries with bounded exponential backoff
+(seeded jitter, simulated — the drain between attempts is what actually
+frees capacity) and sheds only after the retry budget is exhausted.
+
+The emitted :class:`SoakReport` (JSON schema ``repro-soak/2``, validated
 by :func:`validate_report`) is the capacity-planning artifact: sustainable
 fps, requeue/shed/backpressure rates, cache-hit curves over time and
 nearest-rank latency percentiles.  Everything except ``wall_s`` is
@@ -40,12 +50,13 @@ import numpy as np
 from repro.analysis.workloads import synthetic_image
 from repro.api import Session
 from repro.runtime.cache import ResultCache
+from repro.gateway import AdmissionRejected, SLOGateway
 from repro.runtime.cluster import ClusterBackpressure, ServingCluster
 from repro.soak.chaos import AppliedChaos, ChaosController, ChaosEvent
 from repro.soak.tracegen import arrival_trace
 
 #: Report schema identifier (bump on breaking layout changes).
-SCHEMA = "repro-soak/1"
+SCHEMA = "repro-soak/2"
 
 #: Log-spaced latency histogram: 512 bins spanning 10 µs .. 10^5 s.  The
 #: histogram (not a raw latency list) keeps percentile memory O(1); the
@@ -98,6 +109,14 @@ class SoakConfig:
     pixel_probes: int = 2
     #: Sample the cache-hit curve every this many windows.
     curve_every: int = 2
+    #: Serve through an SLO gateway (EDF cluster policy, deadline admission
+    #: control, graceful degradation) instead of raw FIFO submission.
+    gateway: bool = False
+    #: Bounded-backoff retries per backpressured submit before shedding.
+    submit_retries: int = 4
+    #: Base/cap of the (simulated, seeded-jitter) exponential backoff delay.
+    backoff_base_s: float = 0.005
+    backoff_cap_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -108,12 +127,16 @@ class SoakConfig:
             raise ValueError("workers must be positive")
         if self.pixel_probes < 0 or self.curve_every < 1:
             raise ValueError("bad probe/curve settings")
+        if self.submit_retries < 0:
+            raise ValueError("submit_retries cannot be negative")
+        if self.backoff_base_s <= 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("bad backoff settings")
 
 
 # --------------------------------------------------------------------- report
 @dataclass(frozen=True)
 class SoakReport:
-    """The capacity-planning outcome of one soak run (schema ``repro-soak/1``)."""
+    """The capacity-planning outcome of one soak run (schema ``repro-soak/2``)."""
 
     schema: str
     config: Dict[str, Any]
@@ -125,6 +148,15 @@ class SoakReport:
     served: int
     shed: int
     backpressure_hits: int
+    #: Backpressured submits retried (bounded exponential backoff).
+    retries: int
+    #: Simulated seconds a wall-clock client would have spent backing off.
+    backoff_wait_s: float
+    #: Requests served degraded by the gateway (0 without ``gateway``).
+    degraded: int
+    #: Deadline-carrying requests served / served past their deadline.
+    deadline_requests: int
+    deadline_misses: int
     lost: int
     duplicated: int
     requeued: int
@@ -156,6 +188,11 @@ class SoakReport:
             "served": self.served,
             "shed": self.shed,
             "backpressure_hits": self.backpressure_hits,
+            "retries": self.retries,
+            "backoff_wait_s": self.backoff_wait_s,
+            "degraded": self.degraded,
+            "deadline_requests": self.deadline_requests,
+            "deadline_misses": self.deadline_misses,
             "lost": self.lost,
             "duplicated": self.duplicated,
             "requeued": self.requeued,
@@ -188,6 +225,11 @@ class SoakReport:
             served=data["served"],
             shed=data["shed"],
             backpressure_hits=data["backpressure_hits"],
+            retries=data["retries"],
+            backoff_wait_s=data["backoff_wait_s"],
+            degraded=data["degraded"],
+            deadline_requests=data["deadline_requests"],
+            deadline_misses=data["deadline_misses"],
             lost=data["lost"],
             duplicated=data["duplicated"],
             requeued=data["requeued"],
@@ -223,6 +265,15 @@ class SoakReport:
                 ("requests served", self.served),
                 ("requests shed", self.shed),
                 ("backpressure hits", self.backpressure_hits),
+                ("backpressure retries", self.retries),
+                ("backoff wait (s)", round(self.backoff_wait_s, 4)),
+                ("requests degraded", self.degraded),
+                (
+                    "deadline misses",
+                    f"{self.deadline_misses}/{self.deadline_requests}"
+                    if self.deadline_requests
+                    else "n/a",
+                ),
                 ("requests requeued", self.requeued),
                 ("lost", self.lost),
                 ("duplicated", self.duplicated),
@@ -265,7 +316,7 @@ class SoakReport:
         return "\n\n".join([counters, chaos, summary])
 
 
-#: Required fields of a ``repro-soak/1`` document and their JSON types.
+#: Required fields of a ``repro-soak/2`` document and their JSON types.
 _SCHEMA_FIELDS: Dict[str, type] = {
     "schema": str,
     "config": dict,
@@ -276,6 +327,11 @@ _SCHEMA_FIELDS: Dict[str, type] = {
     "served": int,
     "shed": int,
     "backpressure_hits": int,
+    "retries": int,
+    "backoff_wait_s": (int, float),
+    "degraded": int,
+    "deadline_requests": int,
+    "deadline_misses": int,
     "lost": int,
     "duplicated": int,
     "requeued": int,
@@ -291,7 +347,7 @@ _SCHEMA_FIELDS: Dict[str, type] = {
 
 
 def validate_report(data: Dict[str, Any]) -> None:
-    """Check a JSON document against the ``repro-soak/1`` schema.
+    """Check a JSON document against the ``repro-soak/2`` schema.
 
     Hand-rolled (the toolchain has no jsonschema dependency): verifies the
     schema tag, the presence and JSON type of every field, and the inner
@@ -332,6 +388,12 @@ class _Accounting:
     served: int = 0
     shed: int = 0
     backpressure_hits: int = 0
+    retries: int = 0
+    #: Simulated seconds of backoff delay accumulated by retried submits.
+    backoff_wait_s: float = 0.0
+    degraded: int = 0
+    deadline_requests: int = 0
+    deadline_misses: int = 0
     total_frames: int = 0
     #: Cumulative critical-path busy seconds and frames per shard index.
     busy_by_shard: Dict[int, float] = field(default_factory=dict)
@@ -403,12 +465,25 @@ class _Accounting:
 
 
 def _drain(
-    cluster: ServingCluster, accounting: _Accounting, controller: Optional[ChaosController]
+    cluster: ServingCluster,
+    accounting: _Accounting,
+    controller: Optional[ChaosController],
+    gateway: Optional[SLOGateway] = None,
 ) -> None:
-    """Run the cluster's queues dry and account every served record."""
-    report = cluster.run()
-    for shard_index, shard_report in report.shard_reports:
-        schedule = shard_report.schedule
+    """Run the queues dry and account every served record.
+
+    With a gateway, the drain goes through it (so the fallback engine's
+    degraded schedules are accounted too, under shard index
+    :data:`~repro.gateway.gateway.FALLBACK_SHARD`).
+    """
+    if gateway is not None:
+        schedules = gateway.drain_now().schedules
+    else:
+        schedules = tuple(
+            (index, shard_report.schedule)
+            for index, shard_report in cluster.run().shard_reports
+        )
+    for shard_index, schedule in schedules:
         for record in schedule.records:
             request = record.request
             accounting.serve(
@@ -429,9 +504,45 @@ def _drain(
         accounting.frames_by_shard[shard_index] = (
             accounting.frames_by_shard.get(shard_index, 0) + schedule.total_frames
         )
+        accounting.deadline_requests += schedule.deadline_requests
+        accounting.deadline_misses += schedule.deadline_misses
         accounting.makespan_s = max(accounting.makespan_s, schedule.makespan_s)
     if controller is not None:
         controller.after_drain()
+
+
+def _submit_with_backoff(
+    submit_once: Any,
+    drain_fn: Any,
+    accounting: _Accounting,
+    config: SoakConfig,
+    rng: np.random.Generator,
+) -> Optional[Tuple[str, str, int, float]]:
+    """One admission with bounded exponential backoff on backpressure.
+
+    Returns the admitted ledger key (``None`` when the request was shed
+    after exhausting ``config.submit_retries``, or answered without
+    queueing).  The backoff delay is *simulated* — cluster time is
+    analytic, so the drain between attempts is what actually frees
+    capacity — but it is still computed (exponential with seeded jitter,
+    capped at ``backoff_cap_s``) and accumulated in
+    ``accounting.backoff_wait_s`` so the report shows what a wall-clock
+    client would have waited.  :class:`~repro.gateway.AdmissionRejected`
+    is *not* retried: rejection means "slow down", not "drain and retry".
+    """
+    for attempt in range(config.submit_retries + 1):
+        try:
+            return submit_once()
+        except ClusterBackpressure:
+            accounting.backpressure_hits += 1
+            if attempt == config.submit_retries:
+                accounting.shed += 1
+                return None
+            accounting.retries += 1
+            delay = min(config.backoff_cap_s, config.backoff_base_s * (2.0 ** attempt))
+            accounting.backoff_wait_s += delay * (0.5 + float(rng.random()))
+            drain_fn()
+    return None
 
 
 def _parity_probe(
@@ -460,6 +571,9 @@ def run_soak(config: SoakConfig) -> SoakReport:
         config.parity_workload, probe, parallel=False, cached=False
     ).output.data
     accounting = _Accounting()
+    # Seeded jitter for the backoff path: deterministic, decoupled from the
+    # trace generator's streams (different SeedSequence spawn key).
+    backoff_rng = np.random.default_rng(np.random.SeedSequence([config.seed, 0xB0FF]))
     parity_checks = 0
     events = itertools.islice(
         arrival_trace(
@@ -477,7 +591,9 @@ def run_soak(config: SoakConfig) -> SoakReport:
         max_batch_frames=config.max_batch_frames,
         max_pending=config.max_pending,
         mode=config.cluster_mode,
+        policy="edf" if config.gateway else "fifo",
     ) as cluster:
+        gateway = SLOGateway(cluster) if config.gateway else None
         mode_start = cluster.mode
         controller = ChaosController(
             cluster, config.chaos, total_requests=config.requests
@@ -503,44 +619,73 @@ def run_soak(config: SoakConfig) -> SoakReport:
 
         def end_window() -> None:
             nonlocal windows, parity_checks
-            _drain(cluster, accounting, controller)
+            _drain(cluster, accounting, controller, gateway)
             for _ in range(config.pixel_probes):
                 cluster.execute_frame(config.parity_workload, probe, cached=True)
             windows += 1
             if windows % config.curve_every == 0:
                 sample_curve()
 
-        for event in events:
-            key = (event.stream_id, event.workload, event.frames, event.time_s)
-            try:
+        def submit_once(event: Any) -> Optional[Tuple[str, str, int, float]]:
+            """One admission; the ledger key of what actually entered a queue.
+
+            Through the gateway the key carries the *ticket's* identity —
+            a frame-reducing degrade changes the admitted frame count, and
+            exactly-once accounting must reconcile against what was
+            admitted, not what was asked.  Cache-only answers never enter
+            a queue, so they never enter the ledger either.
+            """
+            if gateway is None:
                 cluster.submit(
                     event.stream_id,
                     event.workload,
                     frames=event.frames,
                     arrival_s=event.time_s,
                 )
-            except ClusterBackpressure:
-                accounting.backpressure_hits += 1
-                _drain(cluster, accounting, controller)
-                try:
-                    cluster.submit(
-                        event.stream_id,
-                        event.workload,
-                        frames=event.frames,
-                        arrival_s=event.time_s,
-                    )
-                except ClusterBackpressure:
-                    accounting.shed += 1
-                    continue
-            accounting.admit(key)
-            for applied in controller.advance(accounting.admitted):
+                return (event.stream_id, event.workload, event.frames, event.time_s)
+            ticket = gateway.admit(
+                event.stream_id,
+                event.workload,
+                frames=event.frames,
+                arrival_s=event.time_s,
+            )
+            if ticket.degraded:
+                accounting.degraded += 1
+            if not ticket.queued:
+                return None
+            return (ticket.stream_id, ticket.workload, ticket.frames, ticket.arrival_s)
+
+        def drain_for_backoff() -> None:
+            _drain(cluster, accounting, controller, gateway)
+
+        processed = 0
+        for event in events:
+            processed += 1
+            try:
+                key = _submit_with_backoff(
+                    lambda event=event: submit_once(event),
+                    drain_for_backoff,
+                    accounting,
+                    config,
+                    backoff_rng,
+                )
+            except AdmissionRejected:
+                accounting.shed += 1
+                key = None
+            # Chaos thresholds are fractions of the *trace*, so faults still
+            # fire mid-burst when the gateway sheds or degrades most of the
+            # overload and the admitted count lags far behind.
+            for applied in controller.advance(processed):
                 if applied.applied:
                     _parity_probe(cluster, config, reference, probe)
                     parity_checks += 1
+            if key is None:
+                continue  # rejected, shed after retries, or answered cache-only
+            accounting.admit(key)
             if accounting.admitted % config.window == 0:
                 end_window()
         # Final drain: whatever the last partial window admitted.
-        _drain(cluster, accounting, controller)
+        _drain(cluster, accounting, controller, gateway)
         sample_curve()
         lost, duplicated = accounting.residue()
         if lost or duplicated:
@@ -561,6 +706,8 @@ def run_soak(config: SoakConfig) -> SoakReport:
                 "window": config.window,
                 "backend": config.backend,
                 "cluster_mode": config.cluster_mode,
+                "gateway": config.gateway,
+                "submit_retries": config.submit_retries,
                 "chaos": [event.render() for event in config.chaos],
             },
             mode_start=mode_start,
@@ -570,6 +717,11 @@ def run_soak(config: SoakConfig) -> SoakReport:
             served=accounting.served,
             shed=accounting.shed,
             backpressure_hits=accounting.backpressure_hits,
+            retries=accounting.retries,
+            backoff_wait_s=accounting.backoff_wait_s,
+            degraded=accounting.degraded,
+            deadline_requests=accounting.deadline_requests,
+            deadline_misses=accounting.deadline_misses,
             lost=lost,
             duplicated=duplicated,
             requeued=stats.requeued,

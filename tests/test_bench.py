@@ -52,6 +52,7 @@ class TestSuiteShape:
             "cluster_scale@ecnn",
             "cluster_frames@ecnn",
             "soak_chaos@ecnn",
+            "gateway_slo@ecnn",
             "execute_frame_denoise_96px@ecnn",
             "execute_frame_denoise_96px@frame_based",
             "execute_frame_parallel@ecnn",

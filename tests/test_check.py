@@ -525,6 +525,49 @@ class TestRepoLint:
         report = lint.lint_source(source, "src/repro/bench/demo.py")
         assert [d.rule_id for d in report.diagnostics] == ["ECNN205"]
 
+    def test_non_numeric_deadline_field_is_ecnn206(self, lint):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class JobRequest:\n"
+            "    deadline_s: str = 'soon'\n"
+        )
+        report = lint.lint_source(source, "src/repro/gateway/demo.py")
+        assert [d.rule_id for d in report.diagnostics] == ["ECNN206"]
+        assert "deadline_s" in report.diagnostics[0].message
+
+    def test_computed_deadline_default_is_ecnn206(self, lint):
+        source = (
+            "import time\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class JobRequest:\n"
+            "    priority: int = 0\n"
+            "    deadline_s: float = time.monotonic()\n"
+        )
+        report = lint.lint_source(source, "src/repro/gateway/demo.py")
+        assert [d.rule_id for d in report.diagnostics] == ["ECNN206"]
+        assert report.diagnostics[0].location == "src/repro/gateway/demo.py:6"
+
+    def test_plain_number_deadline_fields_pass_ecnn206(self, lint):
+        source = (
+            "import math\n"
+            "from dataclasses import dataclass\n"
+            "from typing import Optional\n"
+            "@dataclass\n"
+            "class JobRequest:\n"
+            "    deadline_s: float = math.inf\n"
+            "    priority: int = 0\n"
+            "    soft_deadline_s: Optional[float] = None\n"
+        )
+        assert lint.lint_source(source, "src/repro/gateway/demo.py").ok
+        # The rule only watches boundary types; other classes are free.
+        free = (
+            "class Planner:\n"
+            "    deadline_policy: str = 'edf'\n"
+        )
+        assert lint.lint_source(free, "src/repro/gateway/demo.py").ok
+
     def test_repository_is_lint_clean(self, lint):
         reports = lint.lint_paths(
             [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], root=REPO_ROOT

@@ -1,0 +1,475 @@
+"""repro.gateway: SLO classes, cost model, admission control, EDF vs FIFO.
+
+The EDF-vs-FIFO property tests are deliberately set up as the single-machine
+sequencing problem Jackson's rule solves exactly — one instance, one
+workload (so parameter-load charges cancel), every request available at
+``t=0`` — because there EDF is *provably* optimal for maximum lateness:
+whenever FIFO meets every deadline EDF must too, and EDF's worst lateness
+can never exceed FIFO's.  Seeded trials turn that theorem into a pinned
+regression property.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    AdmissionRejected,
+    CostModel,
+    DEFAULT_SLO_CLASSES,
+    DEFAULT_WORKLOAD_SLO,
+    LatencyHistogram,
+    SLOClass,
+    SLOGateway,
+)
+from repro.gateway.gateway import FALLBACK_SHARD
+from repro.gateway.slo import resolve_slo
+from repro.runtime.cache import ResultCache
+from repro.runtime.cluster import ServingCluster
+from repro.runtime.engine import ServingEngine
+from repro.soak import ChaosEvent, SoakConfig, run_soak
+from repro.soak.tracegen import bursty_trace
+
+
+def _engine(policy: str = "edf", instances: int = 1, **kwargs) -> ServingEngine:
+    return ServingEngine(
+        num_instances=instances,
+        backend="ecnn",
+        cache=ResultCache(),
+        policy=policy,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------- SLO classes
+class TestSLOClasses:
+    def test_defaults_cover_the_catalogue(self):
+        for workload, class_name in DEFAULT_WORKLOAD_SLO.items():
+            slo = resolve_slo(workload, None, DEFAULT_SLO_CLASSES, DEFAULT_WORKLOAD_SLO)
+            assert slo.name == class_name
+            assert slo.deadline_s > 0
+
+    def test_interactive_is_tightest_and_batch_is_not_degradable(self):
+        classes = DEFAULT_SLO_CLASSES
+        assert classes["interactive"].deadline_s < classes["standard"].deadline_s
+        assert classes["standard"].deadline_s < classes["batch"].deadline_s
+        assert not classes["batch"].degradable
+
+    def test_explicit_class_overrides_the_workload_map(self):
+        slo = resolve_slo("denoise", "batch", DEFAULT_SLO_CLASSES, DEFAULT_WORKLOAD_SLO)
+        assert slo.name == "batch"
+
+    def test_unknown_workload_falls_back_to_standard(self):
+        slo = resolve_slo("mystery", None, DEFAULT_SLO_CLASSES, DEFAULT_WORKLOAD_SLO)
+        assert slo.name == "standard"
+
+    def test_unknown_class_and_bad_deadline_raise(self):
+        with pytest.raises(ValueError, match="unknown SLO class"):
+            resolve_slo("denoise", "platinum", DEFAULT_SLO_CLASSES, DEFAULT_WORKLOAD_SLO)
+        with pytest.raises(ValueError, match="positive"):
+            SLOClass("broken", deadline_s=0.0, priority=1)
+
+
+# ---------------------------------------------------------- latency histogram
+class TestLatencyHistogram:
+    def test_percentiles_are_ordered_and_bracket_the_samples(self):
+        histogram = LatencyHistogram()
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.001, 2.0, size=500)
+        for sample in samples:
+            histogram.observe(float(sample))
+        out = histogram.percentiles()
+        assert set(out) == {"p50", "p95", "p99"}
+        assert out["p50"] <= out["p95"] <= out["p99"]
+        # Nearest-rank on log bins: each label is an upper bin edge, so it
+        # sits within one bin width (~4.6%) above the true percentile.
+        assert out["p99"] <= samples.max() * 1.05
+        assert histogram.total == 500
+
+    def test_empty_histogram_reports_nothing(self):
+        assert LatencyHistogram().percentiles() == {}
+
+    def test_invalid_quantile_raises(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.01)
+        with pytest.raises(ValueError, match="outside"):
+            histogram.percentiles((("p0", 0.0),))
+
+
+# -------------------------------------------------------------- cost model
+class TestCostModel:
+    def test_seeds_from_the_serving_profile(self):
+        session = _engine().session
+        model = CostModel(session.serving_profile)
+        profile = session.serving_profile("denoise")
+        assert model.frame_cost_s("denoise", 3) == pytest.approx(
+            3 * profile.frame_latency_s
+        )
+        assert model.load_cost_s("denoise") == pytest.approx(profile.load_time_s)
+
+    def test_observation_moves_the_estimate_toward_measurements(self):
+        model = CostModel(_engine().session.serving_profile, smoothing=0.5)
+        before = model.frame_cost_s("denoise", 1)
+        model.observe("denoise", 1, before * 4)
+        after = model.frame_cost_s("denoise", 1)
+        assert before < after < before * 4
+
+    def test_observe_schedule_calibrates_from_a_real_drain(self):
+        engine = _engine(policy="fifo")
+        for index in range(6):
+            engine.submit(f"s{index}", "denoise", frames=2, arrival_s=index * 0.01)
+        schedule = engine.run().schedule
+        model = CostModel(engine.session.serving_profile)
+        before = model.frame_cost_s("denoise", 1)
+        model.observe_schedule(schedule)
+        assert model.frame_cost_s("denoise", 1) > 0
+        # Batch busy time folds the amortized load in, so the calibrated
+        # per-frame cost can only grow from the pure-profile seed.
+        assert model.frame_cost_s("denoise", 1) >= before
+
+    def test_smoothing_is_validated(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            CostModel(_engine().session.serving_profile, smoothing=0.0)
+
+
+# ------------------------------------------------------------- admission core
+class TestAdmission:
+    def test_uncontended_request_is_admitted_with_an_absolute_deadline(self):
+        gateway = SLOGateway(_engine())
+        ticket = gateway.admit("cam-0", "recognition", frames=1, arrival_s=2.0)
+        assert ticket.action == "admit" and ticket.target == "primary"
+        assert not ticket.degraded and ticket.queued
+        assert ticket.slo == "interactive"
+        assert ticket.deadline_s == pytest.approx(
+            2.0 + DEFAULT_SLO_CLASSES["interactive"].deadline_s
+        )
+        assert gateway.stats.admitted == 1
+
+    def test_overload_walks_the_degradation_ladder(self):
+        gateway = SLOGateway(_engine())
+        tickets = [
+            gateway.admit(f"u{index}", "denoise", frames=4, arrival_s=0.0)
+            for index in range(120)
+        ]
+        degraded = [ticket for ticket in tickets if ticket.degraded]
+        assert degraded, "a 120-request instantaneous burst must overload one instance"
+        assert gateway.stats.degraded == len(degraded) == len(gateway.degrade_log)
+        actions = {ticket.action for ticket in degraded}
+        assert actions <= {"fallback_backend", "reduce_frames", "cache_only"}
+        for ticket, decision in zip(degraded, gateway.degrade_log):
+            assert decision.action == ticket.action
+            assert decision.primary_estimate_s > DEFAULT_SLO_CLASSES["standard"].deadline_s
+
+    def test_cache_only_tickets_never_enter_a_queue(self):
+        gateway = SLOGateway(_engine(), fallback_backend=None)
+        cache_only = None
+        for index in range(300):
+            ticket = gateway.admit(f"u{index}", "denoise", frames=1, arrival_s=0.0)
+            if ticket.action == "cache_only":
+                cache_only = ticket
+                break
+        assert cache_only is not None
+        assert cache_only.frames == 0 and cache_only.requested_frames == 1
+        assert cache_only.target == "none" and not cache_only.queued
+
+    def test_non_degradable_class_is_shed_with_a_retry_hint(self):
+        gateway = SLOGateway(_engine())
+        with pytest.raises(AdmissionRejected) as excinfo:
+            for index in range(400):
+                gateway.admit(f"u{index}", "style_transfer", frames=4, arrival_s=0.0)
+        rejected = excinfo.value
+        assert rejected.slo == "batch"
+        assert rejected.workload == "style_transfer"
+        assert rejected.retry_after_s > 0
+        assert gateway.stats.shed == 1
+
+    def test_drain_resets_the_backlog_model(self):
+        gateway = SLOGateway(_engine())
+        first = None
+        for index in range(200):
+            ticket = gateway.admit(f"u{index}", "denoise", frames=2, arrival_s=0.0)
+            if first is None:
+                first = ticket
+            if ticket.degraded:
+                break
+        assert ticket.degraded
+        gateway.drain_now()
+        again = gateway.admit("fresh", "denoise", frames=2, arrival_s=100.0)
+        assert again.action == "admit", "a drained gateway has an empty backlog"
+
+    def test_bad_configuration_raises(self):
+        with pytest.raises(ValueError, match="unknown degrade rungs"):
+            SLOGateway(_engine(), degrade_ladder=("downsample",))
+        with pytest.raises(ValueError, match="headroom"):
+            SLOGateway(_engine(), headroom=0.0)
+
+    def test_headroom_admits_more_conservatively(self):
+        def admitted_count(headroom: float) -> int:
+            gateway = SLOGateway(
+                _engine(), headroom=headroom, fallback_backend=None
+            )
+            count = 0
+            for index in range(60):
+                ticket = gateway.admit(f"u{index}", "denoise", frames=2, arrival_s=0.0)
+                count += not ticket.degraded
+            return count
+
+        assert admitted_count(3.0) < admitted_count(1.0)
+
+
+# ------------------------------------------------------- EDF vs FIFO property
+class TestEdfVersusFifo:
+    @staticmethod
+    def _schedule(policy, deadlines, frames):
+        engine = _engine(policy=policy, instances=1)
+        for index, (deadline, count) in enumerate(zip(deadlines, frames)):
+            engine.submit(
+                f"s{index}",
+                "denoise",
+                frames=count,
+                arrival_s=0.0,
+                deadline_s=deadline,
+                priority=0,
+            )
+        return engine.run().schedule
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_edf_meets_every_deadline_fifo_meets(self, trial):
+        """Jackson's rule, pinned: same burst, same capacity — if FIFO
+        misses nothing then EDF misses nothing, and EDF's worst lateness
+        never exceeds FIFO's."""
+        rng = np.random.default_rng(trial)
+        count = int(rng.integers(4, 14))
+        deadlines = [float(d) for d in rng.uniform(0.05, 4.0, size=count)]
+        frames = [int(f) for f in rng.integers(1, 4, size=count)]
+        fifo = self._schedule("fifo", deadlines, frames)
+        edf = self._schedule("edf", deadlines, frames)
+        assert fifo.total_frames == edf.total_frames
+        assert fifo.deadline_requests == edf.deadline_requests == count
+        if fifo.deadline_misses == 0:
+            assert edf.deadline_misses == 0
+        assert edf.max_lateness_s <= fifo.max_lateness_s + 1e-9
+
+    def test_edf_rescues_a_trace_fifo_loses(self):
+        # Arrival order is the *reverse* of deadline order: FIFO serves the
+        # loose deadlines first and blows the tight ones, EDF reorders.
+        deadlines = [4.0, 3.0, 2.0, 0.4, 0.2]
+        frames = [4, 4, 4, 1, 1]
+        fifo = self._schedule("fifo", deadlines, frames)
+        edf = self._schedule("edf", deadlines, frames)
+        assert edf.deadline_misses < fifo.deadline_misses
+        assert edf.max_lateness_s < fifo.max_lateness_s
+
+    def test_priority_breaks_deadline_ties(self):
+        engine = _engine(policy="edf", instances=1)
+        engine.submit("low", "denoise", frames=1, arrival_s=0.0, deadline_s=1.0, priority=0)
+        engine.submit("high", "denoise", frames=1, arrival_s=0.0, deadline_s=1.0, priority=5)
+        schedule = engine.run().schedule
+        order = [record.request.stream_id for record in schedule.records]
+        assert order == ["high", "low"]
+
+
+# -------------------------------------------------------- drain and reporting
+class TestGatewayDrain:
+    def _flood(self, gateway, requests=150, seed=5):
+        from itertools import islice
+
+        ledger = {}
+        for event in islice(
+            bursty_trace(rate_rps=150.0, users=32, seed=seed), requests
+        ):
+            try:
+                ticket = gateway.admit(
+                    event.stream_id,
+                    event.workload,
+                    frames=event.frames,
+                    arrival_s=event.time_s,
+                )
+            except AdmissionRejected:
+                continue
+            if ticket.queued:
+                key = (ticket.stream_id, ticket.workload, ticket.frames, ticket.arrival_s)
+                ledger[key] = ledger.get(key, 0) + 1
+        return ledger
+
+    def test_admitted_work_is_served_exactly_once(self):
+        gateway = SLOGateway(_engine(instances=2))
+        ledger = self._flood(gateway)
+        report = gateway.drain_now()
+        served = {}
+        for _, schedule in report.schedules:
+            for record in schedule.records:
+                request = record.request
+                key = (request.stream_id, request.workload, request.frames, request.arrival_s)
+                served[key] = served.get(key, 0) + 1
+        assert served == ledger
+        assert report.stats.served == sum(ledger.values())
+
+    def test_report_surfaces_percentiles_and_degradations(self):
+        gateway = SLOGateway(_engine(instances=2))
+        self._flood(gateway)
+        report = gateway.drain_now()
+        assert set(report.latency_s) == {"p50", "p95", "p99"}
+        assert report.latency_s["p50"] <= report.latency_s["p99"]
+        assert report.stats.degraded == len(report.degrade_log)
+        assert report.stats.deadline_requests > 0
+        rendered = report.render()
+        assert "deadline miss rate" in rendered
+        assert "latency p50/p95/p99" in rendered
+
+    def test_fallback_schedules_report_under_the_fallback_shard(self):
+        gateway = SLOGateway(_engine())
+        self._flood(gateway, requests=250)
+        report = gateway.drain_now()
+        if any(d.action == "fallback_backend" for d in report.degrade_log):
+            assert any(shard == FALLBACK_SHARD for shard, _ in report.schedules)
+            assert report.fallback is not None
+
+    def test_engine_report_mentions_latency_and_deadlines(self):
+        engine = _engine(policy="edf")
+        engine.submit("a", "denoise", frames=1, arrival_s=0.0, deadline_s=0.001)
+        engine.submit("b", "denoise", frames=1, arrival_s=0.0, deadline_s=10.0)
+        rendered = engine.run().render()
+        assert "latency p50" in rendered
+        assert "deadlines:" in rendered
+
+    def test_cluster_target_routes_and_accounts_deadlines(self):
+        with ServingCluster(
+            workers=2, backend="ecnn", mode="inline", policy="edf"
+        ) as cluster:
+            gateway = SLOGateway(cluster)
+            tickets = [
+                gateway.admit(f"cam-{index}", "recognition", frames=1, arrival_s=0.01 * index)
+                for index in range(8)
+            ]
+            report = gateway.drain_now()
+            shards = {shard for shard, _ in report.schedules}
+            assert shards <= {0, 1}
+            assert report.stats.served == sum(t.queued for t in tickets)
+            stats = cluster.stats()
+            assert stats.total_deadline_requests == report.stats.deadline_requests
+            assert "deadline" in stats.describe() or stats.total_deadline_requests == 0
+
+
+# ------------------------------------------------------------- asyncio facade
+class TestAsyncFacade:
+    def test_async_submit_then_drain(self):
+        async def scenario():
+            gateway = SLOGateway(_engine())
+            tickets = []
+            for index in range(6):
+                tickets.append(
+                    await gateway.submit(
+                        f"cam-{index}", "recognition", frames=1, arrival_s=0.02 * index
+                    )
+                )
+            report = await gateway.drain()
+            return tickets, report
+
+        tickets, report = asyncio.run(scenario())
+        assert len(tickets) == 6
+        assert report.stats.served == sum(t.queued for t in tickets)
+
+    def test_concurrent_submits_serialize_under_the_gateway_lock(self):
+        async def scenario():
+            gateway = SLOGateway(_engine(instances=2))
+            tickets = await asyncio.gather(
+                *(
+                    gateway.submit(f"u{index}", "denoise", frames=1, arrival_s=0.1 * index)
+                    for index in range(12)
+                )
+            )
+            report = await gateway.drain()
+            return tickets, report
+
+        tickets, report = asyncio.run(scenario())
+        queued = sum(t.queued for t in tickets)
+        assert report.stats.served == queued
+        assert report.stats.admitted + report.stats.degraded == len(tickets)
+
+    def test_async_rejection_propagates(self):
+        async def scenario():
+            gateway = SLOGateway(_engine())
+            with pytest.raises(AdmissionRejected):
+                for index in range(400):
+                    await gateway.submit(
+                        f"u{index}", "style_transfer", frames=4, arrival_s=0.0
+                    )
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------- gateway under chaos soak
+class TestGatewaySoak:
+    def test_chaos_under_gateway_keeps_exactly_once(self):
+        """Kill a worker mid-burst while the gateway is admitting: the
+        exactly-once ledger must reconcile — nothing lost, nothing served
+        twice — and degradations must be counted, not dropped."""
+        report = run_soak(
+            SoakConfig(
+                requests=800,
+                workers=3,
+                arrival="bursty",
+                users=60,
+                window=256,
+                seed=5,
+                cluster_mode="inline",
+                chaos=(ChaosEvent.parse("kill-worker@50%"),),
+                gateway=True,
+            )
+        )
+        assert report.lost == 0
+        assert report.duplicated == 0
+        assert report.served == report.admitted
+        # The kill must actually fire: chaos thresholds track replay
+        # progress, not admissions, so gateway shedding cannot starve it.
+        (kill,) = report.chaos_applied
+        assert kill["kind"] == "kill-worker" and kill["applied"] is True
+        assert report.live_workers_end == 2
+        assert report.deadline_requests > 0
+        # ``degraded`` overlaps ``admitted`` (queued degrades are ledgered);
+        # only cache-only degrades bypass the ledger entirely, so the
+        # counters must bracket the request count from both sides.
+        assert report.admitted + report.shed <= report.config["requests"]
+        assert (
+            report.admitted + report.shed + report.degraded
+            >= report.config["requests"]
+        )
+        assert report.config["gateway"] is True
+
+    def test_gateway_soak_is_deterministic(self):
+        import json
+
+        config = SoakConfig(
+            requests=400,
+            workers=2,
+            arrival="bursty",
+            users=40,
+            window=128,
+            seed=9,
+            cluster_mode="inline",
+            gateway=True,
+        )
+        first = json.dumps(run_soak(config).deterministic_dict(), sort_keys=True)
+        second = json.dumps(run_soak(config).deterministic_dict(), sort_keys=True)
+        assert first == second
+
+    def test_gateway_soak_render_mentions_degradations(self):
+        report = run_soak(
+            SoakConfig(
+                requests=300,
+                workers=2,
+                arrival="bursty",
+                users=30,
+                window=128,
+                seed=3,
+                cluster_mode="inline",
+                gateway=True,
+            )
+        )
+        rendered = report.render()
+        assert "requests degraded" in rendered
+        assert "deadline misses" in rendered

@@ -303,6 +303,142 @@ class TestSoakReport:
             validate_report("not a dict")
 
 
+# -------------------------------------------------------------- submit backoff
+class TestSubmitBackoff:
+    """The bounded-exponential-backoff retry path of the submit loop."""
+
+    @staticmethod
+    def _helper():
+        from repro.soak.harness import _Accounting, _submit_with_backoff
+
+        return _Accounting, _submit_with_backoff
+
+    @staticmethod
+    def _rng(seed: int = 0):
+        return np.random.default_rng(np.random.SeedSequence([seed, 0xB0FF]))
+
+    def test_clean_submit_touches_no_counters(self):
+        _Accounting, backoff = self._helper()
+        accounting = _Accounting()
+        key = backoff(
+            lambda: ("s", "denoise", 1, 0.0),
+            lambda: None,
+            accounting,
+            SoakConfig(requests=1),
+            self._rng(),
+        )
+        assert key == ("s", "denoise", 1, 0.0)
+        assert accounting.retries == 0
+        assert accounting.backpressure_hits == 0
+        assert accounting.backoff_wait_s == 0.0
+
+    def test_retries_then_succeeds_with_bounded_jittered_delay(self):
+        from repro.runtime.cluster import ClusterBackpressure
+
+        _Accounting, backoff = self._helper()
+        accounting = _Accounting()
+        config = SoakConfig(
+            requests=1, submit_retries=4, backoff_base_s=0.01, backoff_cap_s=0.25
+        )
+        attempts = []
+        drains = []
+
+        def submit_once():
+            attempts.append(True)
+            if len(attempts) < 3:
+                raise ClusterBackpressure("full")
+            return ("s", "denoise", 1, 0.0)
+
+        key = backoff(submit_once, lambda: drains.append(True), accounting, config, self._rng())
+        assert key == ("s", "denoise", 1, 0.0)
+        assert accounting.retries == 2
+        assert accounting.backpressure_hits == 2
+        assert len(drains) == 2, "every retry drains to free capacity first"
+        # Two delays: base*2^0 and base*2^1, each jittered into [0.5x, 1.5x).
+        low = 0.5 * (0.01 + 0.02)
+        high = 1.5 * (0.01 + 0.02)
+        assert low <= accounting.backoff_wait_s <= high
+        assert accounting.shed == 0
+
+    def test_exhausted_retries_shed_exactly_once(self):
+        from repro.runtime.cluster import ClusterBackpressure
+
+        _Accounting, backoff = self._helper()
+        accounting = _Accounting()
+        config = SoakConfig(requests=1, submit_retries=3)
+
+        def submit_once():
+            raise ClusterBackpressure("full")
+
+        key = backoff(submit_once, lambda: None, accounting, config, self._rng())
+        assert key is None
+        assert accounting.shed == 1
+        assert accounting.retries == 3
+        assert accounting.backpressure_hits == 4
+
+    def test_delay_is_capped_and_seed_deterministic(self):
+        from repro.runtime.cluster import ClusterBackpressure
+
+        _Accounting, backoff = self._helper()
+        config = SoakConfig(
+            requests=1, submit_retries=6, backoff_base_s=0.1, backoff_cap_s=0.15
+        )
+
+        def run(seed):
+            accounting = _Accounting()
+
+            def submit_once():
+                raise ClusterBackpressure("full")
+
+            backoff(submit_once, lambda: None, accounting, config, self._rng(seed))
+            return accounting.backoff_wait_s
+
+        waits = run(1)
+        # Six computed delays, each capped at 0.15 then jittered below 1.5x.
+        assert waits <= 6 * 0.15 * 1.5
+        assert run(1) == waits, "same seed, same simulated wait"
+        assert run(2) != waits, "different seed, different jitter"
+
+    def test_admission_rejection_is_not_retried(self):
+        from repro.gateway import AdmissionRejected
+
+        _Accounting, backoff = self._helper()
+        accounting = _Accounting()
+        attempts = []
+
+        def submit_once():
+            attempts.append(True)
+            raise AdmissionRejected(
+                "no", retry_after_s=0.1, stream_id="s", workload="denoise", slo="batch"
+            )
+
+        with pytest.raises(AdmissionRejected):
+            backoff(submit_once, lambda: None, accounting, SoakConfig(requests=1), self._rng())
+        assert len(attempts) == 1, "rejection means slow down, not drain-and-retry"
+        assert accounting.retries == 0
+
+    def test_saturated_soak_retries_instead_of_shedding(self):
+        report = run_soak(
+            _inline_config(
+                6,
+                chaos=(ChaosEvent.parse("saturate-shard@40%"),),
+                workers=2,
+                max_pending=64,
+                requests=800,
+                window=512,
+            )
+        )
+        assert report.retries >= 1
+        assert report.retries <= report.backpressure_hits
+        assert report.shed == 0
+        assert report.served == report.admitted == 800
+        assert report.backoff_wait_s > 0.0
+
+    def test_config_validates_retry_knobs(self):
+        with pytest.raises(ValueError):
+            SoakConfig(requests=1, submit_retries=-1)
+
+
 # ------------------------------------------------------------------------- CLI
 class TestSoakCli:
     def test_smoke_run_writes_schema_valid_report(self, tmp_path, capsys):

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""AST-based repository-invariant linter (rules ECNN201-ECNN205).
+"""AST-based repository-invariant linter (rules ECNN201-ECNN206).
 
 Drives the :mod:`repro.check.diagnostics` machinery over Python sources to
 enforce the project invariants that grew with the serving/soak tiers:
@@ -26,6 +26,12 @@ enforce the project invariants that grew with the serving/soak tiers:
   and must not construct unseeded RNGs (zero-argument ``default_rng()``
   or ``Random()``) in their bodies; the video parity suite and soak
   replays depend on frame-exact reproducibility.
+* **ECNN206 deadline-plain-number** — deadline/priority fields on boundary
+  types (``*Handle`` / ``*Request``) must be annotated ``int``/``float``
+  (``Optional``/``Union`` of those allowed) with constant defaults (``0``,
+  ``math.inf``); a callable or clock captured at class-definition time in
+  a scheduling field breaks EDF ordering, pickling across cluster
+  workers, and deterministic replay.
 
 Usage::
 
@@ -174,6 +180,41 @@ def _annotation_is_callable(node: Optional[ast.expr]) -> bool:
             return True
         if isinstance(sub, ast.Attribute) and sub.attr == "Callable":
             return True
+    return False
+
+
+def _scheduling_field_name(node: ast.AnnAssign) -> str:
+    """The field name when an AnnAssign is a deadline/priority field."""
+    name = getattr(node.target, "id", "")
+    lowered = name.lower()
+    if "deadline" in lowered or "priority" in lowered:
+        return name
+    return ""
+
+
+def _annotation_is_number(node: Optional[ast.expr]) -> bool:
+    """True when an annotation resolves to int/float (Optional/Union ok)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(node, ast.Name):
+        return node.id in ("int", "float")
+    if isinstance(node, ast.Constant):
+        return node.value is None  # the None arm of an Optional
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_number(node.left) and _annotation_is_number(node.right)
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        wrapper = head.attr if isinstance(head, ast.Attribute) else getattr(head, "id", "")
+        if wrapper not in ("Optional", "Union"):
+            return False
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(_annotation_is_number(element) for element in elements)
     return False
 
 
@@ -328,6 +369,26 @@ def lint_source(source: str, relpath: str) -> CheckReport:
                             "lambdas don't pickle across workers",
                             location=f"{relpath}:{node.lineno}",
                         )
+                if isinstance(node, ast.AnnAssign) and _scheduling_field_name(node):
+                    name = _scheduling_field_name(node)
+                    if not _annotation_is_number(node.annotation):
+                        report.add(
+                            "ECNN206",
+                            f"boundary type {cls.name} scheduling field "
+                            f"{name} must be annotated int/float (Optional "
+                            "allowed); EDF ordering and cluster pickling "
+                            "need plain numbers",
+                            location=f"{relpath}:{node.lineno}",
+                        )
+                    if isinstance(node.value, (ast.Call, ast.Lambda)):
+                        report.add(
+                            "ECNN206",
+                            f"boundary type {cls.name} scheduling field "
+                            f"{name} has a computed default; use a constant "
+                            "(e.g. 0, math.inf) — captured clocks or "
+                            "callables break deterministic replay",
+                            location=f"{relpath}:{node.lineno}",
+                        )
     return report
 
 
@@ -359,7 +420,7 @@ def lint_paths(paths: Sequence[str], *, root: Optional[Path] = None) -> List[Che
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro_lint",
-        description="Enforce repository invariants (rules ECNN201-ECNN205).",
+        description="Enforce repository invariants (rules ECNN201-ECNN206).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(
