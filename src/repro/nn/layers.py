@@ -24,6 +24,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.kernels import active_kernel_set
+from repro.kernels.numpy_set import (  # noqa: F401  (re-exported for historical callers)
+    _CONV_BATCH_BUDGET_VALUES,
+    _fill_patches,
+    _im2col,
+)
 from repro.nn.initializers import he_laplace, seeded_rng
 from repro.nn.tensor import BatchedFeatureMap, FeatureMap
 
@@ -67,54 +73,11 @@ class Layer:
         return self.forward(fm)
 
 
-def _fill_patches(cols: np.ndarray, data: np.ndarray, kernel: int) -> None:
-    """Gather one map's valid-convolution patches into a (C,K,K,Ho,Wo) buffer."""
-    out_h, out_w = cols.shape[-2:]
-    for dy in range(kernel):
-        for dx in range(kernel):
-            cols[:, dy, dx] = data[:, dy : dy + out_h, dx : dx + out_w]
-
-
-def _im2col(data: np.ndarray, kernel: int):
-    """Return ``(..., C*K*K, H_out*W_out)`` patches for valid convolution.
-
-    Accepts a single ``(C, H, W)`` map or an ``(N, C, H, W)`` batch — the
-    patch gather per map is the same either way (batches fill slice by
-    slice, which keeps numpy on its fast low-dimensional copy path), so this
-    is the repository's single im2col implementation: the scalar and batched
-    convolution paths, and any hw/baseline executor needing patches, call it
-    rather than reimplementing the extraction.
-    """
-    *lead, channels, height, width = data.shape
-    out_h = height - kernel + 1
-    out_w = width - kernel + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"input {height}x{width} too small for valid {kernel}x{kernel} convolution"
-        )
-    cols = np.empty((*lead, channels, kernel, kernel, out_h, out_w), dtype=data.dtype)
-    if lead:
-        for index in range(lead[0]):
-            _fill_patches(cols[index], data[index], kernel)
-    else:
-        _fill_patches(cols, data, kernel)
-    return (
-        cols.reshape(*lead, channels * kernel * kernel, out_h * out_w),
-        out_h,
-        out_w,
-    )
-
-
-#: Backwards-compatible alias of the shared patch extraction.
+#: Backwards-compatible alias of the shared patch extraction, which now
+#: lives with the reference kernels in :mod:`repro.kernels.numpy_set`
+#: (re-exported above together with ``_fill_patches``/``_im2col`` and the
+#: batched-chunking budget ``_CONV_BATCH_BUDGET_VALUES``).
 _im2col_valid = _im2col
-
-#: Value budget (float64 count) for one batched im2col buffer.  Batched
-#: convolution processes its batch in chunks whose patch buffer stays near
-#: this size: one huge (N, C*K*K, L) materialization is allocation- and
-#: cache-hostile (measured ~4x slower per byte than scalar-sized buffers,
-#: which the allocator recycles), while chunks of a few slices amortize the
-#: python dispatch without changing the per-slice arithmetic.
-_CONV_BATCH_BUDGET_VALUES = 400_000
 
 
 class Conv2d(Layer):
@@ -202,22 +165,17 @@ class Conv2d(Layer):
         if self.padding == "zero" and self.kernel > 1:
             pad = (self.kernel - 1) // 2
             data = np.pad(data, ((0, 0), (pad, pad), (pad, pad)))
-        if self.kernel == 1:
-            channels, height, width = data.shape
-            flat = data.reshape(channels, height * width)
-            out = self.weights.reshape(self.out_channels, self.in_channels) @ flat
-            out = out + self.bias[:, np.newaxis]
-            return fm.with_data(out.reshape(self.out_channels, height, width), qformat=None)
-        cols, out_h, out_w = _im2col(data, self.kernel)
-        w2d = self.weights.reshape(self.out_channels, -1)
-        out = w2d @ cols + self.bias[:, np.newaxis]
-        return fm.with_data(out.reshape(self.out_channels, out_h, out_w), qformat=None)
+        # Padding is resolved here so every kernel set implements only the
+        # valid-mode arithmetic; the active set owns the multiply-accumulate.
+        out = active_kernel_set().conv2d(data, self.weights, self.bias)
+        return fm.with_data(out, qformat=None)
 
     def forward_batch(self, bfm: BatchedFeatureMap) -> BatchedFeatureMap:
-        # One fused pass over all N inputs.  ``w2d @ cols`` with a stacked
-        # (N, C*K*K, L) operand performs the identical (out, C*K*K) x
-        # (C*K*K, L) matmul per slice as the scalar path, so every batch
-        # entry's output is bit-identical to forward() on that entry.
+        # One fused pass over all N inputs through the active kernel set.
+        # Within a set the batched kernel performs the identical per-entry
+        # arithmetic as its scalar conv2d, so every batch entry's output is
+        # bit-identical to forward() on that entry (the parity suite pins
+        # this per kernel set).
         if bfm.channels != self.in_channels:
             raise ValueError(
                 f"layer {self.name} expects {self.in_channels} channels, got {bfm.channels}"
@@ -226,39 +184,7 @@ class Conv2d(Layer):
         if self.padding == "zero" and self.kernel > 1:
             pad = (self.kernel - 1) // 2
             data = np.pad(data, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-        batch, channels, height, width = data.shape
-        bias = self.bias[:, np.newaxis]
-        if self.kernel == 1:
-            w1 = self.weights.reshape(self.out_channels, self.in_channels)
-            flat_in = data.reshape(batch, channels, height * width)
-            out = np.empty(
-                (batch, self.out_channels, height * width),
-                dtype=np.result_type(data, w1),
-            )
-            # Per-slice 2D gemms: the same BLAS call the scalar path makes
-            # (the stacked-matmul gufunc pays measurable per-slice setup on
-            # these small shapes), writing straight into the output buffer.
-            for index in range(batch):
-                np.matmul(w1, flat_in[index], out=out[index])
-            out += bias
-            return bfm.with_data(
-                out.reshape(batch, self.out_channels, height, width), qformat=None
-            )
-        w2d = self.weights.reshape(self.out_channels, -1)
-        out_h = height - self.kernel + 1
-        out_w = width - self.kernel + 1
-        slice_values = channels * self.kernel * self.kernel * out_h * out_w
-        step = max(1, _CONV_BATCH_BUDGET_VALUES // max(1, slice_values))
-        out = np.empty(
-            (batch, self.out_channels, out_h, out_w), dtype=np.result_type(data, w2d)
-        )
-        flat = out.reshape(batch, self.out_channels, out_h * out_w)
-        for start in range(0, batch, step):
-            chunk = data[start : start + step]
-            cols, _, _ = _im2col(chunk, self.kernel)
-            for offset in range(chunk.shape[0]):
-                np.matmul(w2d, cols[offset], out=flat[start + offset])
-            flat[start : start + chunk.shape[0]] += bias
+        out = active_kernel_set().conv2d_batch(data, self.weights, self.bias)
         return bfm.with_data(out, qformat=None)
 
 

@@ -58,10 +58,18 @@ def _optimal_fraction_bits_scalar(
     for frac in search_range:
         candidate = QFormat(frac=frac, bits=bits, signed=signed)
         err = quantization_error(values, candidate, norm=norm)
-        if err < best_err or (err == best_err and best is not None and frac > best.frac):
+        # The first candidate always seeds the search: with the historical
+        # ``err < best_err`` guard alone, an all-infinite-error input (every
+        # candidate ties at +inf — e.g. an inf-valued sample, or an l2 sum
+        # overflowing for every frac) never accepted any candidate and the
+        # search crashed, while the vectorized path happily returned the
+        # largest tied frac.  Seeding first and breaking ties toward the
+        # larger frac makes both searches agree on every tie shape.
+        if best is None or err < best_err or (err == best_err and frac > best.frac):
             best = candidate
             best_err = err
-    assert best is not None
+    if best is None:
+        raise ValueError("search_range must contain at least one candidate")
     return best
 
 
@@ -93,23 +101,19 @@ def optimal_fraction_bits(
     if fracs.size == 0:
         raise ValueError("search_range must contain at least one candidate")
     probe = QFormat(frac=0, bits=bits, signed=signed)  # validates bits
-    steps = (2.0 ** (-fracs.astype(np.float64)))[:, np.newaxis]  # (F, 1) LSBs
-    # One (candidates, values) pass, reusing a single working buffer: round
-    # to codes, clip to the format's range, back to real values, subtract —
-    # the same per-candidate arithmetic (and summation order) as the scalar
-    # reference, so the selected format is bit-for-bit identical.
-    work = values[np.newaxis, :] / steps
-    np.rint(work, out=work)
-    np.clip(work, probe.min_code, probe.max_code, out=work)
-    work *= steps
-    np.subtract(values[np.newaxis, :], work, out=work)
-    if norm == "l1":
-        np.abs(work, out=work)
-    else:
-        np.multiply(work, work, out=work)
-    errors = work.sum(axis=1)
-    best_frac = int(fracs[errors == errors.min()].max())
-    return QFormat(frac=best_frac, bits=bits, signed=signed)
+    # The candidate sweep runs on the active kernel set.  The numpy oracle
+    # evaluates every candidate's clip-and-round error in one
+    # ``(candidates, values)`` pass with the same per-candidate arithmetic
+    # (and summation order) as the scalar reference, so its selection is
+    # bit-for-bit identical; jitted sets accumulate sequentially and agree
+    # within their documented tolerance (ties included — every set breaks
+    # error ties toward the larger frac).
+    from repro.kernels import active_kernel_set
+
+    best_frac = active_kernel_set().fraction_search(
+        values, fracs, probe.min_code, probe.max_code, norm
+    )
+    return QFormat(frac=int(best_frac), bits=bits, signed=signed)
 
 
 @dataclass(frozen=True)

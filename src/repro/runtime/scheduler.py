@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.stats import percentiles_from_sorted
 from repro.runtime.workloads import WorkloadProfile
 
 #: Source of per-workload profiles: a mapping or a ``name -> profile`` callable.
@@ -315,19 +316,12 @@ class ScheduleResult:
         ``q`` maps to the ``ceil(q * n)``-th smallest latency — for a
         single record every quantile returns that record's latency.
         Returns ``{}`` when nothing was served; invalid quantiles raise
-        regardless of whether anything was served.
+        regardless of whether anything was served.  Rank selection is the
+        shared :mod:`repro.core.stats` helper (one implementation for the
+        scheduler and the soak accounting).
         """
-        for q in quantiles:
-            if not 0.0 < q <= 1.0:
-                raise ValueError(f"quantile {q} outside (0, 1]")
         latencies = sorted(record.latency_s for record in self.records)
-        if not latencies:
-            return {}
-        result: Dict[float, float] = {}
-        for q in quantiles:
-            rank = max(1, math.ceil(q * len(latencies)))
-            result[q] = latencies[rank - 1]
-        return result
+        return percentiles_from_sorted(latencies, quantiles)
 
     @property
     def deadline_requests(self) -> int:

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.analysis.workloads import synthetic_image
 from repro.api import Session
+from repro.core.stats import percentiles_from_counts
 from repro.runtime.cache import ResultCache
 from repro.gateway import AdmissionRejected, SLOGateway
 from repro.runtime.cluster import ClusterBackpressure, ServingCluster
@@ -452,16 +453,19 @@ class _Accounting:
         return lost, duplicated
 
     def latency_percentiles(self) -> Dict[str, float]:
-        total = int(self.latency_counts.sum())
-        if not total:
+        """p50/p95/p99 over the log-binned latency histogram.
+
+        Rank selection is the shared :mod:`repro.core.stats` nearest-rank
+        helper (the same implementation the scheduler uses on raw
+        latencies); each selected sample reports its bin's upper edge.
+        """
+        labelled = (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
+        percentiles = percentiles_from_counts(
+            self.latency_counts, _LATENCY_EDGES[1:], [q for _, q in labelled]
+        )
+        if not percentiles:
             return {}
-        cumulative = np.cumsum(self.latency_counts)
-        out: Dict[str, float] = {}
-        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
-            rank = max(1, int(np.ceil(q * total)))
-            bin_index = int(np.searchsorted(cumulative, rank))
-            out[label] = float(_LATENCY_EDGES[bin_index + 1])
-        return out
+        return {label: percentiles[q] for label, q in labelled}
 
 
 def _drain(

@@ -59,6 +59,7 @@ class TestSuiteShape:
             "execute_frames_batch@ecnn",
             "video_stream@ecnn",
             "hotpath_memoization@ecnn",
+            "kernel_sweep@ecnn",
         )
 
     def test_issue_coverage_floor(self):
